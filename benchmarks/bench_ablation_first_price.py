@@ -1,0 +1,70 @@
+"""Ablation (post-paper extension): first-price auction migration.
+
+After the paper's publication the RTB industry migrated from second-
+to first-price auctions.  Does the transparency methodology survive?
+It should: nURLs still carry the charge price, and the model learns
+whatever price process the market produces.  This benchmark rebuilds
+the market with first-price clearing, re-runs a scaled probe campaign,
+and verifies (a) charge prices rise (no more second-price discount)
+and (b) the price classifier still trains to comparable accuracy.
+"""
+
+import numpy as np
+
+from repro.core.campaigns import run_campaign_a2
+from repro.core.pme import PAPER_FEATURE_SET
+from repro.core.price_model import EncryptedPriceModel
+from repro.trace.simulate import build_market, small_config
+from repro.util.rng import RngRegistry
+
+from .conftest import emit
+
+
+def test_ablation_first_price(benchmark):
+    def run():
+        config = small_config(seed=77)
+        results = {}
+        for mechanism in ("second_price", "first_price"):
+            market = build_market(config, RngRegistry(config.seed))
+            for exchange in market.exchanges.values():
+                exchange.mechanism = mechanism
+            campaign = run_campaign_a2(market, seed=77, auctions_per_setup=20)
+            rows = campaign.feature_rows()
+            model = EncryptedPriceModel.train(
+                rows,
+                list(campaign.prices()),
+                feature_names=list(PAPER_FEATURE_SET) + ["os"],
+                seed=77,
+                n_estimators=25,
+                max_depth=12,
+            )
+            cv = model.cross_validate(rows, list(campaign.prices()),
+                                      n_folds=4, n_runs=1, seed=77)
+            results[mechanism] = (campaign.prices(), cv.accuracy, cv.auc_roc)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    second_prices, second_acc, second_auc = results["second_price"]
+    first_prices, first_acc, first_auc = results["first_price"]
+    uplift = float(np.median(first_prices) / np.median(second_prices))
+
+    lines = ["Ablation (post-paper): second-price vs first-price clearing:", ""]
+    lines.append(f"{'mechanism':<14} {'median CPM':>11} {'model acc':>10} {'AUCROC':>8}")
+    lines.append(
+        f"{'second price':<14} {np.median(second_prices):>11.3f} "
+        f"{second_acc:>9.1%} {second_auc:>8.3f}"
+    )
+    lines.append(
+        f"{'first price':<14} {np.median(first_prices):>11.3f} "
+        f"{first_acc:>9.1%} {first_auc:>8.3f}"
+    )
+    lines.append("")
+    lines.append(f"first-price charge uplift: {uplift:.2f}x (no runner-up discount)")
+    lines.append("The methodology is mechanism-agnostic: it models observed")
+    lines.append("charges, so the classifier trains equally well either way.")
+
+    assert uplift > 1.05
+    assert first_acc > second_acc - 0.10
+    assert first_auc > 0.85
+    emit("ablation_first_price", lines)

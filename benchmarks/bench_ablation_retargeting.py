@@ -1,0 +1,118 @@
+"""Ablation (paper future work): the effect of retargeting on prices.
+
+The paper hypothesises that aggressive retargeting is one reason
+encrypted prices run higher, but explicitly defers measuring it.  This
+benchmark runs the deferred experiment on the simulator *causally*:
+the same world is simulated twice -- once with and once without a
+retargeting DSP -- and we compare the charge prices of the retargeted
+audience across the two runs.  Composition effects cancel; the
+difference is the retargeter's demand.
+"""
+
+import numpy as np
+
+from repro.rtb.bidding import Dsp, RetargetingEngine
+from repro.rtb.campaign import Campaign
+from repro.rtb.cookiesync import synced_uid
+from repro.trace.population import build_population
+from repro.trace.simulate import build_market, simulate_period, small_config
+from repro.trace.weblog import Weblog
+from repro.util.rng import RngRegistry
+
+from .conftest import emit
+
+RETARGETER = "RetargetDSP"
+AUDIENCE_IAB = "IAB22"   # shopping intent
+
+
+def _run_world(with_retargeter: bool):
+    config = small_config(seed=88)
+    config = config.scaled(2.0)
+    rngs = RngRegistry(config.seed)
+    market = build_market(config, rngs)
+    users = build_population(rngs.get("population"), config.n_users)
+    audience = [
+        u for u in users if u.interests.weight(AUDIENCE_IAB) > 0.25
+    ] or users[:10]
+    audience_ids = {u.user_id for u in audience}
+
+    # Two competing retargeters chase the same audience: under
+    # second-price clearing a lone aggressive bidder pays the ordinary
+    # market price, but a retargeting *war* sets the charge at the
+    # runner-up retargeter's boosted bid -- the actual premium channel.
+    extra = []
+    if with_retargeter:
+        for name, boost in ((RETARGETER, 2.5), (RETARGETER + "2", 2.2)):
+            for user in audience:
+                for adx in market.exchanges:
+                    market.sync_registry.sync(user.user_id, adx, name)
+            extra.append(
+                Dsp(
+                    name,
+                    RetargetingEngine(
+                        dsp_name=name,
+                        value_model=market.value_model,
+                        audience_uids=frozenset(
+                            synced_uid(name, u.user_id) for u in audience
+                        ),
+                        boost=boost,
+                    ),
+                    rngs.get(f"retargeter:{name}"),
+                    campaigns=[Campaign(f"retarget-{name}", "ShopBrand",
+                                        max_bid_cpm=60.0)],
+                )
+            )
+
+    weblog = Weblog(
+        period=config.period, users=users,
+        universe=market.universe, policy=market.policy,
+    )
+    simulate_period(
+        market, users, config.period, config.target_auctions, rngs,
+        weblog, extra_dsps=extra, config=config,
+    )
+    audience_prices = np.array(
+        [i.charge_price_cpm for i in weblog.impressions if i.user_id in audience_ids]
+    )
+    wins = sum(
+        1
+        for i in weblog.impressions
+        if i.user_id in audience_ids
+        and i.record.outcome.winner.dsp.startswith(RETARGETER)
+    )
+    return audience_prices, wins, len(audience)
+
+
+def test_ablation_retargeting(benchmark):
+    def run():
+        baseline, _, _ = _run_world(with_retargeter=False)
+        contested, wins, n_audience = _run_world(with_retargeter=True)
+        return baseline, contested, wins, n_audience
+
+    baseline, contested, wins, n_audience = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    lift = float(np.median(contested) / np.median(baseline))
+    mean_lift = float(contested.mean() / baseline.mean())
+    lines = ["Ablation (paper future work): causal retargeting price lift:", ""]
+    lines.append(f"retargeting audience: {n_audience} users (dominant {AUDIENCE_IAB})")
+    lines.append(
+        f"audience impressions: {baseline.size} (baseline run), "
+        f"{contested.size} (contested run, {wins} won by the retargeter)"
+    )
+    lines.append(
+        f"audience median price: {np.median(baseline):.3f} CPM (no retargeter) "
+        f"-> {np.median(contested):.3f} CPM (with retargeter)"
+    )
+    lines.append(f"median lift {lift:.2f}x, mean lift {mean_lift:.2f}x")
+    lines.append("")
+    lines.append("Paper (section 2.3): aggressive retargeting is hypothesised to")
+    lines.append("drive higher (hidden) prices; same-audience comparison across")
+    lines.append("otherwise-identical worlds confirms the demand-side mechanism.")
+
+    assert wins > 0
+    # Adding a high-boost bidder cannot lower second-price charges; it
+    # should visibly raise them for the audience it contests.
+    assert mean_lift > 1.3
+    emit("ablation_retargeting", lines)

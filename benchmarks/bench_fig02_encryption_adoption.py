@@ -1,0 +1,32 @@
+"""Figure 2: encrypted vs cleartext ADX-DSP pairs per month of 2015.
+
+Paper finding: the fraction of pairs delivering encrypted prices rises
+steadily through the year.
+"""
+
+from .conftest import emit
+
+
+def test_fig02_encryption_adoption(benchmark, analysis):
+    monthly = benchmark(analysis.monthly_pair_encryption)
+
+    assert set(monthly) == set(range(1, 13))
+    fractions = {}
+    lines = ["Regenerated Figure 2 (ADX-DSP pair encryption per month, 2015):", ""]
+    lines.append(f"{'month':>5} {'enc pairs':>10} {'clr pairs':>10} {'enc %':>7}")
+    for month in range(1, 13):
+        enc, clr = monthly[month]
+        frac = enc / (enc + clr)
+        fractions[month] = frac
+        lines.append(f"{month:>5} {enc:>10} {clr:>10} {frac:>6.1%}")
+
+    # Shape: encryption adoption rises through the year.
+    first_quarter = sum(fractions[m] for m in (1, 2, 3)) / 3
+    last_quarter = sum(fractions[m] for m in (10, 11, 12)) / 3
+    lines.append("")
+    lines.append(f"Q1 mean encrypted-pair share: {first_quarter:.1%}")
+    lines.append(f"Q4 mean encrypted-pair share: {last_quarter:.1%}")
+    lines.append("Paper: encrypted share of pairs increases steadily through 2015.")
+    assert last_quarter > first_quarter
+
+    emit("fig02_encryption_adoption", lines)

@@ -1,0 +1,59 @@
+"""Figure 5: charge-price distribution per city (sorted by city size).
+
+Paper finding: larger cities show lower median prices but wider
+fluctuation (5th-95th percentile spread).
+"""
+
+import numpy as np
+
+from repro.stats.descriptive import summarize_groups
+from repro.stats.textplot import percentile_box
+from repro.trace.geography import CITIES_BY_SIZE
+
+from .conftest import emit
+
+
+def test_fig05_price_by_city(benchmark, analysis):
+    def compute():
+        return summarize_groups(analysis.prices_by("city"))
+
+    summaries = benchmark(compute)
+
+    lines = ["Regenerated Figure 5 (charge price percentiles per city):", ""]
+    lines.append(
+        f"{'city':<22} {'n':>7} {'p5':>7} {'p10':>7} {'p50':>7} {'p90':>7} "
+        f"{'p95':>7} {'spread':>7}"
+    )
+    for city in CITIES_BY_SIZE:
+        if city not in summaries:
+            continue
+        s = summaries[city]
+        lines.append(
+            f"{city:<22} {s.count:>7} {s.p5:>7.3f} {s.p10:>7.3f} {s.p50:>7.3f} "
+            f"{s.p90:>7.3f} {s.p95:>7.3f} {s.spread:>7.3f}"
+        )
+
+    big = ["Madrid", "Barcelona"]
+    small = [c for c in ("Priego de Cordoba", "Torello", "Villaviciosa de Odon")
+             if c in summaries]
+    big_median = np.mean([summaries[c].p50 for c in big])
+    small_median = np.mean([summaries[c].p50 for c in small])
+    big_rel_spread = np.mean([summaries[c].spread / summaries[c].p50 for c in big])
+    small_rel_spread = np.mean([summaries[c].spread / summaries[c].p50 for c in small])
+
+    lines.append("")
+    lines.append(f"big-city median {big_median:.3f} vs small-town {small_median:.3f} CPM")
+    lines.append(
+        f"big-city relative spread {big_rel_spread:.2f} vs small-town "
+        f"{small_rel_spread:.2f}"
+    )
+    lines.append("Paper: large cities -> lower medians, wider fluctuation.")
+
+    assert big_median < small_median
+    assert big_rel_spread > small_rel_spread
+
+    groups = analysis.prices_by("city")
+    ordered = {c: groups[c] for c in CITIES_BY_SIZE if c in groups}
+    lines.append("")
+    lines.extend(percentile_box(ordered, width=48))
+    emit("fig05_price_by_city", lines)

@@ -1,0 +1,34 @@
+"""Figure 8: share of RTB traffic per mobile OS over the months of 2015.
+
+Paper finding: Android and iOS dominate all year, with Android-based
+devices appearing in roughly 2x more RTB auctions.
+"""
+
+from .conftest import emit
+
+
+def test_fig08_os_share(benchmark, analysis):
+    monthly = benchmark(analysis.monthly_os_counts)
+
+    lines = ["Regenerated Figure 8 (RTB share per OS per month):", ""]
+    oses = ("Android", "iOS", "Windows Mobile", "Other")
+    lines.append(f"{'month':>5} " + " ".join(f"{o:>14}" for o in oses))
+    android_total = ios_total = grand_total = 0
+    for month in sorted(monthly):
+        counts = monthly[month]
+        total = sum(counts.values())
+        grand_total += total
+        android_total += counts.get("Android", 0)
+        ios_total += counts.get("iOS", 0)
+        shares = " ".join(f"{counts.get(o, 0) / total:>13.1%}" for o in oses)
+        lines.append(f"{month:>5} {shares}")
+
+    ratio = android_total / max(1, ios_total)
+    lines.append("")
+    lines.append(f"Android/iOS auction ratio over the year: {ratio:.2f}x")
+    lines.append("Paper: Android devices appear in ~2x more RTB auctions.")
+
+    assert set(monthly) == set(range(1, 13))
+    assert 1.3 < ratio < 3.2
+    assert (android_total + ios_total) / grand_total > 0.8
+    emit("fig08_os_share", lines)

@@ -1,0 +1,37 @@
+"""Figure 10: charge prices per mobile OS on the top exchange (MoPub).
+
+Paper finding: despite Android's volume dominance, iOS devices draw
+higher median RTB prices.
+"""
+
+from repro.stats.descriptive import summarize_groups
+
+from .conftest import emit
+
+
+def test_fig10_price_by_os(benchmark, analysis):
+    def compute():
+        groups = {}
+        for obs in analysis.cleartext():
+            if obs.adx == "MoPub" and obs.os in ("Android", "iOS"):
+                groups.setdefault(obs.os, []).append(obs.price_cpm)
+        return summarize_groups(groups)
+
+    summaries = benchmark(compute)
+
+    lines = ["Regenerated Figure 10 (MoPub charge price per mobile OS):", ""]
+    lines.append(f"{'OS':<9} {'n':>8} {'p5':>7} {'p50':>7} {'p95':>7}")
+    for os_name in ("Android", "iOS"):
+        s = summaries[os_name]
+        lines.append(
+            f"{os_name:<9} {s.count:>8} {s.p5:>7.3f} {s.p50:>7.3f} {s.p95:>7.3f}"
+        )
+
+    ratio = summaries["iOS"].p50 / summaries["Android"].p50
+    lines.append("")
+    lines.append(f"iOS/Android median ratio: {ratio:.2f}")
+    lines.append("Paper: iOS devices receive higher median RTB prices.")
+
+    assert summaries["Android"].count > summaries["iOS"].count
+    assert ratio > 1.1
+    emit("fig10_price_by_os", lines)

@@ -1,0 +1,48 @@
+"""Figure 11: CDF of charge prices per IAB category (MoPub, 2 months).
+
+Paper finding: categories differ strongly -- IAB3 (Business) draws up
+to ~5 CPM at the median while IAB15 (Science) stays under ~0.2 CPM.
+"""
+
+from repro.rtb.iab import FIGURE11_CATEGORIES
+from repro.stats.descriptive import Cdf
+from repro.util.timeutil import month_of
+
+from .conftest import emit
+
+
+def test_fig11_iab_cost_cdf(benchmark, analysis):
+    def compute():
+        groups: dict[str, list[float]] = {}
+        for obs in analysis.cleartext():
+            if obs.adx != "MoPub" or month_of(obs.timestamp) not in (7, 8):
+                continue
+            if obs.publisher_iab in FIGURE11_CATEGORIES:
+                groups.setdefault(obs.publisher_iab, []).append(obs.price_cpm)
+        return {iab: Cdf.from_sample(v) for iab, v in groups.items() if len(v) >= 5}
+
+    cdfs = benchmark(compute)
+
+    lines = ["Regenerated Figure 11 (price CDF per IAB, MoPub 2-month slice):", ""]
+    lines.append(f"{'IAB':<7} {'n':>6} {'p25':>8} {'p50':>8} {'p75':>8}")
+    for iab in FIGURE11_CATEGORIES:
+        if iab not in cdfs:
+            continue
+        cdf = cdfs[iab]
+        lines.append(
+            f"{iab:<7} {len(cdf):>6} {cdf.quantile(0.25):>8.3f} "
+            f"{cdf.quantile(0.50):>8.3f} {cdf.quantile(0.75):>8.3f}"
+        )
+
+    assert "IAB3" in cdfs and "IAB15" in cdfs
+    dear = cdfs["IAB3"].quantile(0.5)
+    cheap = cdfs["IAB15"].quantile(0.5)
+    lines.append("")
+    lines.append(f"IAB3 median {dear:.2f} CPM vs IAB15 median {cheap:.2f} CPM")
+    lines.append("Paper: IAB3 up to ~5 CPM for 50% of cases; IAB15 under ~0.2 CPM.")
+
+    assert dear > 5 * cheap
+    medians = {iab: c.quantile(0.5) for iab, c in cdfs.items()}
+    assert max(medians, key=medians.get) == "IAB3"
+    assert min(medians, key=medians.get) == "IAB15"
+    emit("fig11_iab_cost_cdf", lines)

@@ -1,0 +1,40 @@
+"""Figure 12: ad-slot size popularity through 2015.
+
+Paper finding: the 300x250 MPU overtakes the 320x50 large mobile
+banner around May 2015; the 728x90 leaderboard stays popular.
+"""
+
+from .conftest import emit
+
+
+def test_fig12_adslot_popularity(benchmark, analysis):
+    monthly = benchmark(analysis.monthly_slot_counts)
+
+    focus = ("320x50", "300x250", "728x90")
+    lines = ["Regenerated Figure 12 (slot-size share per month):", ""]
+    lines.append(f"{'month':>5} " + " ".join(f"{s:>9}" for s in focus))
+    shares: dict[int, dict[str, float]] = {}
+    for month in sorted(monthly):
+        counts = monthly[month]
+        total = sum(counts.values())
+        shares[month] = {s: counts.get(s, 0) / total for s in focus}
+        lines.append(
+            f"{month:>5} "
+            + " ".join(f"{shares[month][s]:>8.1%}" for s in focus)
+        )
+
+    lines.append("")
+    crossover = next(
+        (m for m in sorted(shares) if shares[m]["300x250"] > shares[m]["320x50"]),
+        None,
+    )
+    lines.append(f"300x250 overtakes 320x50 in month: {crossover}")
+    lines.append("Paper: the MPU takes over from the banner around May 2015.")
+
+    # Shape: banner leads early, MPU leads late, crossover mid-year.
+    assert shares[1]["320x50"] > shares[1]["300x250"]
+    assert shares[12]["300x250"] > shares[12]["320x50"]
+    assert crossover is not None and 3 <= crossover <= 8
+    # Leaderboard remains a visible slice all year.
+    assert all(shares[m]["728x90"] > 0.03 for m in shares)
+    emit("fig12_adslot_popularity", lines)

@@ -1,0 +1,46 @@
+"""Figure 13: charge price per ad-slot size (Turn traffic).
+
+Paper finding: price does NOT grow with slot area -- the 300x250 MPU
+(median ~0.47 CPM) and 300x600 Monster MPU (~0.39 CPM) are the two
+dearest slots.
+"""
+
+from repro.rtb.adslots import TURN_SIZES, AdSlotSize, sort_by_area
+from repro.stats.descriptive import summarize_groups
+
+from .conftest import emit
+
+
+def test_fig13_price_by_adslot(benchmark, analysis):
+    def compute():
+        groups: dict[str, list[float]] = {}
+        for obs in analysis.cleartext():
+            if obs.adx == "Turn" and obs.slot_size in TURN_SIZES:
+                groups.setdefault(obs.slot_size, []).append(obs.price_cpm)
+        return summarize_groups({k: v for k, v in groups.items() if len(v) >= 5})
+
+    summaries = benchmark(compute)
+
+    lines = ["Regenerated Figure 13 (Turn charge price per slot size):", ""]
+    lines.append(f"{'slot':<9} {'area':>7} {'n':>6} {'p50':>7} {'p95':>7}")
+    for slot in sort_by_area(list(summaries)):
+        s = summaries[slot]
+        lines.append(
+            f"{slot:<9} {AdSlotSize.parse(slot).area:>7} {s.count:>6} "
+            f"{s.p50:>7.3f} {s.p95:>7.3f}"
+        )
+
+    medians = {slot: s.p50 for slot, s in summaries.items()}
+    dearest = max(medians, key=medians.get)
+    lines.append("")
+    lines.append(f"dearest slot: {dearest} at {medians[dearest]:.3f} CPM median")
+    lines.append("Paper: 300x250 dearest (~0.47), 300x600 second (~0.39);")
+    lines.append("display area does not order prices.")
+
+    assert dearest == "300x250"
+    if "300x600" in medians and "160x600" in medians:
+        assert medians["300x600"] > medians["160x600"]
+    # Not monotone in area: the largest slot must not be the dearest.
+    largest = sort_by_area(list(medians))[-1]
+    assert medians[largest] < medians["300x250"]
+    emit("fig13_price_by_adslot", lines)

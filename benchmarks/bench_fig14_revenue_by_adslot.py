@@ -1,0 +1,42 @@
+"""Figure 14: accumulated revenue per ad-slot size (Turn traffic).
+
+Paper finding: thanks to their popularity, the 300x250 MPU and the
+728x90 leaderboard accumulate most of Turn's RTB revenue (64.3% and
+20.6% respectively).
+"""
+
+from repro.rtb.adslots import TURN_SIZES, sort_by_area
+
+from .conftest import emit
+
+
+def test_fig14_revenue_by_adslot(benchmark, analysis):
+    def compute():
+        revenue: dict[str, float] = {}
+        for obs in analysis.cleartext():
+            if obs.adx == "Turn" and obs.slot_size in TURN_SIZES:
+                revenue[obs.slot_size] = revenue.get(obs.slot_size, 0.0) + obs.price_cpm
+        return revenue
+
+    revenue = benchmark(compute)
+    total = sum(revenue.values())
+
+    lines = ["Regenerated Figure 14 (Turn revenue share per slot size):", ""]
+    lines.append(f"{'slot':<9} {'revenue CPM':>12} {'share':>8}")
+    for slot in sort_by_area(list(revenue)):
+        lines.append(
+            f"{slot:<9} {revenue[slot]:>12.2f} {revenue[slot] / total:>7.1%}"
+        )
+
+    shares = {slot: r / total for slot, r in revenue.items()}
+    top = max(shares, key=shares.get)
+    lines.append("")
+    lines.append(f"top earner: {top} with {shares[top]:.1%} of revenue")
+    lines.append("Paper: MPU 64.3% and leaderboard 20.6% of Turn revenue.")
+
+    # Shape: the MPU earns the largest share by a wide margin, and the
+    # MPU + leaderboard together dominate.
+    assert top == "300x250"
+    assert shares["300x250"] > 0.35
+    assert shares["300x250"] + shares.get("728x90", 0.0) > 0.5
+    emit("fig14_revenue_by_adslot", lines)

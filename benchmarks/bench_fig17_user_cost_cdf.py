@@ -1,0 +1,70 @@
+"""Figure 17: CDF of cumulative per-user annual ad cost.
+
+Paper findings: median user ~25 CPM/year; ~73% of users below 100 CPM;
+~2% of users cost 1000-10000 CPM; the estimated encrypted prices add
+~55% on top of cleartext for about 60% of users (median uplift
+~14.3 CPM).
+"""
+
+import numpy as np
+
+from repro.core.cost import CostDistribution
+from repro.stats.textplot import cdf_plot
+
+from .conftest import bench_scale, emit
+
+
+def test_fig17_user_cost_cdf(benchmark, user_costs):
+    dist = benchmark(CostDistribution.from_costs, user_costs)
+
+    lines = ["Regenerated Figure 17 (cumulative CPM paid per user, one year):", ""]
+    lines.append(f"{'series':<24} {'p25':>8} {'p50':>8} {'p75':>8} {'p95':>9} {'max':>10}")
+    for name, values in (
+        ("cleartext", dist.cleartext),
+        ("cleartext (time corr.)", dist.cleartext_corrected),
+        ("est. encrypted", dist.encrypted),
+        ("total", dist.total),
+    ):
+        p25, p50, p75, p95 = np.percentile(values, [25, 50, 75, 95])
+        lines.append(
+            f"{name:<24} {p25:>8.1f} {p50:>8.1f} {p75:>8.1f} {p95:>9.1f} "
+            f"{values.max():>10.1f}"
+        )
+
+    median = dist.median_total()
+    below_100 = dist.fraction_below(100.0)
+    extreme = dist.fraction_in(1000.0, 10_000.0)
+    uplifts = dist.encrypted[dist.cleartext_corrected > 0] / dist.cleartext_corrected[
+        dist.cleartext_corrected > 0
+    ]
+    uplifted_users = float(np.mean(dist.encrypted > 0))
+    lines.append("")
+    lines.append(f"median user cost: {median:.1f} CPM (paper ~25)")
+    lines.append(f"users below 100 CPM: {below_100:.1%} (paper ~73%)")
+    lines.append(f"users in 1000-10000 CPM: {extreme:.2%} (paper ~2%)")
+    lines.append(
+        f"users with encrypted add-on: {uplifted_users:.0%}; mean uplift "
+        f"{float(np.mean(uplifts)):.0%} of cleartext (paper: ~55% for ~60% of users)"
+    )
+
+    # Shape assertions: band checks around the paper's values.
+    assert 8 < median < 80
+    assert 0.55 < below_100 < 0.92
+    if bench_scale() >= 0.5:
+        assert 0.002 < extreme < 0.08
+    assert dist.total.max() > 20 * median          # heavy tail exists
+    assert uplifted_users > 0.4
+    assert float(np.mean(uplifts)) > 0.15
+
+    lines.append("")
+    lines.extend(cdf_plot(
+        {
+            "cleartext": dist.cleartext[dist.cleartext > 0],
+            "corrected": dist.cleartext_corrected[dist.cleartext_corrected > 0],
+            "encrypted": dist.encrypted[dist.encrypted > 0],
+            "total": dist.total[dist.total > 0],
+        },
+        width=64,
+        height=12,
+    ))
+    emit("fig17_user_cost_cdf", lines)

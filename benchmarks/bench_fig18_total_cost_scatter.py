@@ -1,0 +1,52 @@
+"""Figure 18: per-user total cleartext vs total estimated encrypted cost.
+
+Paper findings: ~20-25% of users cost similarly in both channels; a
+large portion (~75%) is cleartext-dominant (cleartext still carries
+most mobile volume); a small portion (~2%) costs 2-32x MORE in
+encrypted form.
+"""
+
+import numpy as np
+
+from .conftest import emit
+
+
+def test_fig18_total_cost_scatter(benchmark, user_costs):
+    def compute():
+        both = [
+            (c.cleartext_cpm, c.encrypted_estimated_cpm)
+            for c in user_costs.values()
+            if c.cleartext_cpm > 0 and c.encrypted_estimated_cpm > 0
+        ]
+        return np.array(both)
+
+    pairs = benchmark(compute)
+    clr, enc = pairs[:, 0], pairs[:, 1]
+    ratio = enc / clr
+
+    similar = float(np.mean((ratio >= 0.5) & (ratio <= 2.0)))
+    clr_dominant = float(np.mean(ratio < 1.0))
+    enc_heavy = float(np.mean(ratio >= 2.0))
+
+    lines = ["Regenerated Figure 18 (total cleartext vs total encrypted per user):", ""]
+    lines.append(f"users with both channels: {len(pairs)}")
+    lines.append(f"{'enc/clr ratio':<16} {'share':>7}")
+    for low, high, label in (
+        (0.0, 0.25, "< 0.25"),
+        (0.25, 0.5, "0.25-0.5"),
+        (0.5, 1.0, "0.5-1"),
+        (1.0, 2.0, "1-2"),
+        (2.0, 32.0, "2-32"),
+        (32.0, np.inf, ">= 32"),
+    ):
+        share = float(np.mean((ratio >= low) & (ratio < high)))
+        lines.append(f"{label:<16} {share:>6.1%}")
+    lines.append("")
+    lines.append(f"similar cost in both channels (0.5-2x): {similar:.0%} (paper ~20-25%)")
+    lines.append(f"cleartext-dominant users: {clr_dominant:.0%} (paper ~75%)")
+    lines.append(f"users costing >=2x more encrypted: {enc_heavy:.1%} (paper ~2%)")
+
+    assert clr_dominant > 0.5
+    assert 0.05 < similar < 0.75
+    assert enc_heavy < 0.15
+    emit("fig18_total_cost_scatter", lines)

@@ -1,0 +1,46 @@
+"""Section 6.3: validation against reported platform ARPU.
+
+Paper: the 25th-75th percentile user (8-102 CPM observed on mobile
+HTTP) extrapolates to $0.54-6.85 of annual advertiser value, the same
+order of magnitude as Twitter's reported $7-8 and Facebook's $14-17
+ARPU for 2015-2016.
+"""
+
+from repro.core.cost import CostDistribution
+from repro.core.validation import REPORTED_ARPU, MarketFactors, validate_arpu
+
+from .conftest import emit
+
+
+def test_sec63_arpu_validation(benchmark, user_costs):
+    dist = CostDistribution.from_costs(user_costs)
+
+    validation = benchmark(validate_arpu, dist.total)
+    factors = MarketFactors()
+
+    lines = ["Regenerated section 6.3 (ARPU extrapolation):", ""]
+    lines.append(
+        f"observed annual cost, 25th-75th percentile: "
+        f"{validation.observed_p25_cpm:.1f}-{validation.observed_p75_cpm:.1f} CPM "
+        "(paper: 8-102)"
+    )
+    lines.append(f"extrapolation multiplier: {validation.multiplier:.1f}x, from:")
+    lines.append(f"  observed share of mobile usage: {factors.observed_fraction_of_mobile:.0%}")
+    lines.append(f"  mobile share of internet time:  {factors.mobile_fraction_of_internet:.0%}")
+    lines.append(f"  HTTP (observable) share:        {factors.http_fraction:.0%}")
+    lines.append(f"  RTB overhead:                   {factors.rtb_overhead:.0%}")
+    lines.append(f"  RTB share of online advertising:{factors.rtb_fraction_of_advertising:.0%}")
+    lines.append(
+        f"extrapolated annual user value: "
+        f"${validation.extrapolated_low_usd:.2f}-"
+        f"${validation.extrapolated_high_usd:.2f} (paper: $0.54-6.85)"
+    )
+    for platform, (low, high) in REPORTED_ARPU.items():
+        lines.append(f"reported ARPU, {platform}: ${low:.0f}-{high:.0f}")
+
+    assert validation.observed_p25_cpm < validation.observed_p75_cpm
+    assert validation.agrees_with_market()
+    # Order of magnitude: dollars, not cents or hundreds.
+    assert 0.05 < validation.extrapolated_low_usd < 30
+    assert 0.5 < validation.extrapolated_high_usd < 100
+    emit("sec63_arpu_validation", lines)

@@ -1,0 +1,53 @@
+"""Table 1: examples of cleartext and encrypted price notifications.
+
+Regenerates the table's three exemplar nURL shapes (MoPub cleartext,
+Rubicon/Mathtag encrypted, Turn-style encrypted with slot dimensions)
+from the nURL grammar, and times a build+parse round trip.
+"""
+
+from repro.rtb.nurl import WinNotification, build_nurl, parse_nurl
+from repro.rtb.pricecrypto import PriceKeys, encrypt_price
+
+from .conftest import emit
+
+KEYS = PriceKeys.derive("table1")
+
+
+def _examples():
+    token = encrypt_price(1.31, KEYS, bytes(range(16)))
+    rows = [
+        WinNotification(
+            adx="MoPub", dsp="Criteo-DSP", charge_price_cpm=0.95,
+            encrypted_price=None, impression_id="imp-1", auction_id="a-1",
+            ad_domain="amazon.es", slot_size="300x250",
+            publisher="news.example.es", country="ES", bid_price_cpm=0.99,
+        ),
+        WinNotification(
+            adx="Rubicon", dsp="MediaMath-DSP", charge_price_cpm=None,
+            encrypted_price=token, impression_id="imp-2", auction_id="a-2",
+            slot_size="320x50", publisher="blog.example.es",
+        ),
+        WinNotification(
+            adx="Turn", dsp="DBM", charge_price_cpm=None,
+            encrypted_price=token, impression_id="imp-3", auction_id="a-3",
+            slot_size="300x250", publisher="portal.example.es",
+        ),
+    ]
+    return [build_nurl(n) for n in rows]
+
+
+def test_table1_nurl_formats(benchmark):
+    urls = benchmark(_examples)
+    parsed = [parse_nurl(u) for u in urls]
+
+    assert parsed[0] is not None and not parsed[0].is_encrypted
+    assert parsed[0].cleartext_price_cpm is not None
+    assert parsed[1] is not None and parsed[1].is_encrypted
+    assert parsed[2] is not None and parsed[2].is_encrypted
+    assert parsed[2].slot_size == "300x250"   # Turn carries dimensions
+
+    lines = ["Regenerated Table 1 (win notification URL examples):", ""]
+    for label, url in zip(("A: cleartext", "B: encrypted", "C: encrypted+size"), urls):
+        lines.append(f"({label})")
+        lines.append(f"  {url}")
+    emit("table1_nurl_formats", lines)

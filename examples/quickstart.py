@@ -1,0 +1,70 @@
+"""Quickstart: the whole methodology, end to end, in two minutes.
+
+Simulates a scaled-down year of mobile browsing (dataset D), analyses
+the weblog observer-side, runs the two probe ad-campaigns, trains the
+encrypted-price model, computes every user's advertiser cost and
+replays the most valuable user's traffic through a YourAdValue client.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import quickstart_pipeline
+from repro.core.cost import CostDistribution
+from repro.core.validation import validate_arpu
+
+
+def main() -> None:
+    print("Running the full pipeline at 5% scale (about a minute)...")
+    result = quickstart_pipeline(seed=7, scale=0.05)
+
+    dataset = result["dataset"]
+    analysis = result["analysis"]
+    pme = result["pme"]
+    costs = result["costs"]
+
+    print()
+    print("=== dataset D (simulated) ===")
+    for key, value in dataset.summary().items():
+        print(f"  {key}: {value}")
+
+    print()
+    print("=== analyzer pass ===")
+    print(f"  observations: {len(analysis.observations)}")
+    print(f"  encrypted: {len(analysis.encrypted())}, cleartext: {len(analysis.cleartext())}")
+    shares = analysis.entity_rtb_shares()
+    top3 = list(shares.items())[:3]
+    print("  top exchanges:", ", ".join(f"{a} {s:.1%}" for a, s in top3))
+
+    print()
+    print("=== probe campaigns & model ===")
+    a1, a2 = pme.state.campaign_a1, pme.state.campaign_a2
+    ratio = float(np.median(a1.prices()) / np.median(a2.prices()))
+    print(f"  A1 (encrypted ADXs): {len(a1.impressions)} impressions, "
+          f"median {np.median(a1.prices()):.2f} CPM")
+    print(f"  A2 (MoPub cleartext): {len(a2.impressions)} impressions, "
+          f"median {np.median(a2.prices()):.2f} CPM")
+    print(f"  encrypted/cleartext median ratio: {ratio:.2f} (paper: ~1.7)")
+    print(f"  time-correction coefficient: {pme.state.time_correction:.2f}")
+
+    print()
+    print("=== user costs (V_u = C_u + E_u) ===")
+    dist = CostDistribution.from_costs(costs)
+    print(f"  users with ad traffic: {len(costs)}")
+    print(f"  median annual cost: {dist.median_total():.1f} CPM (paper: ~25)")
+    print(f"  users under 100 CPM: {dist.fraction_below(100):.0%} (paper: ~73%)")
+    validation = validate_arpu(dist.total)
+    print(f"  extrapolated annual value (p25-p75): "
+          f"${validation.extrapolated_low_usd:.2f}-"
+          f"${validation.extrapolated_high_usd:.2f} (paper: $0.54-6.85)")
+
+    print()
+    print("=== YourAdValue client (most valuable user) ===")
+    print(" ", result["summary"].headline())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""YourAdValue live: watch your advertiser cost tick up as you browse.
+
+Simulates the paper's Chrome-extension experience (Figure 20): a PME
+back-end trains and publishes a model package; a client installs it,
+then streams one user's day-by-day traffic through the monitor.  Every
+detected win notification updates the toolbar; encrypted prices are
+estimated locally with the shipped decision-tree model; and at the end
+the user opts into contributing their anonymised cleartext prices back
+to the platform.
+
+Run:  python examples/youradvalue_live.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analyzer.interests import PublisherDirectory
+from repro.analyzer.pipeline import WeblogAnalyzer
+from repro.core.contributions import ContributionServer
+from repro.core.reporting import render_transparency_report
+from repro.core.pme import PriceModelingEngine, mopub_cleartext_prices
+from repro.core.youradvalue import YourAdValue
+from repro.trace.simulate import build_market, simulate_dataset, small_config
+from repro.util.rng import RngRegistry
+from repro.util.timeutil import from_epoch
+
+
+def main() -> None:
+    config = small_config(seed=2016)
+    print("Back-end: simulating traffic and training the PME model...")
+    dataset = simulate_dataset(config)
+    directory = PublisherDirectory.from_universe(dataset.universe)
+    analysis = WeblogAnalyzer(directory).analyze(dataset.rows)
+
+    pme = PriceModelingEngine(seed=2016)
+    pme.bootstrap(analysis, use_paper_features=True)
+    market = build_market(config, RngRegistry(config.seed))
+    pme.run_probe_campaigns(market, auctions_per_setup=15)
+    pme.train_model(evaluate=False)
+    pme.compute_time_correction(mopub_cleartext_prices(analysis))
+    package = pme.package_model()
+    print(f"  model package published (version {package['version']}, "
+          f"{len(package['feature_names'])} features)")
+
+    # Pick a reasonably active user to follow.
+    activity = defaultdict(int)
+    for imp in dataset.impressions:
+        activity[imp.user_id] += 1
+    user_id = sorted(activity, key=activity.get)[-3]
+    rows = sorted(
+        (r for r in dataset.rows if r.user_id == user_id),
+        key=lambda r: r.timestamp,
+    )
+    print(f"\nClient: installing YourAdValue for user {user_id} "
+          f"({len(rows)} requests across the year)\n")
+
+    client = YourAdValue(package, directory)
+    last_month = None
+    for row in rows:
+        entry = client.observe(row)
+        if entry is None:
+            continue
+        month = from_epoch(row.timestamp).strftime("%Y-%m")
+        if month != last_month:
+            summary = client.summary()
+            print(f"  [{month}] running total {summary.total_cpm:8.2f} CPM "
+                  f"({summary.n_cleartext + summary.n_encrypted} ads)")
+            last_month = month
+
+    print()
+    summary = client.summary()
+    print("Toolbar popup:")
+    print(" ", summary.headline())
+    enc = [e for e in client.ledger if e.encrypted]
+    if enc:
+        print(f"  encrypted ads estimated locally: {len(enc)} "
+              f"(avg {sum(e.amount_cpm for e in enc) / len(enc):.2f} CPM)")
+
+    print()
+    print(render_transparency_report(client.ledger, top_k=4))
+
+    print("\nOpting into anonymous contribution...")
+    server = ContributionServer(k_anonymity=1)
+    accepted = server.submit_batch(client.contribution_records(),
+                                   contributor_token=hash(user_id) & 0xFFFF)
+    print(f"  {accepted} anonymised cleartext records accepted by the platform")
+    released_rows, _ = server.training_rows()
+    print(f"  {len(released_rows)} records releasable for PME retraining")
+    model = pme.retrain_with_contributions(*server.training_rows())
+    print(f"  PME retrained; client updates on next poll: "
+          f"{client.check_for_update({**model.to_package(version=2), 'time_correction': 1.0})}")
+
+
+if __name__ == "__main__":
+    main()

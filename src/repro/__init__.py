@@ -1,0 +1,91 @@
+"""repro: reproduction of "If you are not paying for it, you are the
+product: How much do advertisers pay to reach you?" (IMC 2017).
+
+A complete, self-contained implementation of the paper's system plus
+every substrate it depends on:
+
+* :mod:`repro.rtb` -- the RTB ecosystem (exchanges, DSPs, second-price
+  auctions, nURLs, 28-byte price encryption, cookie sync);
+* :mod:`repro.trace` -- a generative mobile weblog standing in for the
+  paper's proprietary year-long trace of 1,594 users;
+* :mod:`repro.analyzer` -- the Weblog Ads Analyzer (blacklist
+  classification, nURL detection, feature extraction);
+* :mod:`repro.ml` -- from-scratch Random Forests, CV, metrics;
+* :mod:`repro.stats` -- summaries, KS tests, sample-size design;
+* :mod:`repro.core` -- the Price Modeling Engine, the encrypted-price
+  model, per-user cost computation, and the YourAdValue client.
+
+Quickstart::
+
+    from repro import quickstart_pipeline
+    result = quickstart_pipeline()
+    print(result["summary"].headline())
+"""
+
+from repro.core import (
+    EncryptedPriceModel,
+    PriceModelingEngine,
+    YourAdValue,
+    compute_user_costs,
+)
+from repro.analyzer import PublisherDirectory, WeblogAnalyzer
+from repro.trace import SimulationConfig, simulate_dataset, small_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PriceModelingEngine",
+    "EncryptedPriceModel",
+    "YourAdValue",
+    "compute_user_costs",
+    "WeblogAnalyzer",
+    "PublisherDirectory",
+    "SimulationConfig",
+    "simulate_dataset",
+    "small_config",
+    "quickstart_pipeline",
+    "__version__",
+]
+
+
+def quickstart_pipeline(seed: int = 7, scale: float = 0.03) -> dict:
+    """Run the whole methodology end-to-end at a small scale.
+
+    Simulates a scaled dataset D, analyses it, runs scaled probe
+    campaigns, trains the price model, computes per-user costs, and
+    replays one user's traffic through a YourAdValue client.  Returns a
+    dict with the main artefacts; see ``examples/quickstart.py`` for a
+    narrated version.
+    """
+    from repro.trace import build_market, default_config
+    from repro.util.rng import RngRegistry
+
+    config = default_config().scaled(scale)
+    dataset = simulate_dataset(config)
+    directory = PublisherDirectory.from_universe(dataset.universe)
+    analyzer = WeblogAnalyzer(directory)
+    analysis = analyzer.analyze(dataset.rows)
+
+    pme = PriceModelingEngine(seed=seed)
+    pme.bootstrap(analysis, use_paper_features=True)
+    market = build_market(config, RngRegistry(config.seed))
+    pme.run_probe_campaigns(market, auctions_per_setup=max(10, int(185 * scale)))
+    model = pme.train_model(evaluate=False)
+    from repro.core.pme import mopub_cleartext_prices
+
+    pme.compute_time_correction(mopub_cleartext_prices(analysis))
+    costs = compute_user_costs(analysis, model, pme.state.time_correction)
+
+    client = YourAdValue(pme.package_model(), directory)
+    heaviest = max(costs.values(), key=lambda c: c.total_cpm).user_id
+    client.observe_many(r for r in dataset.rows if r.user_id == heaviest)
+
+    return {
+        "dataset": dataset,
+        "analysis": analysis,
+        "pme": pme,
+        "model": model,
+        "costs": costs,
+        "client": client,
+        "summary": client.summary(),
+    }

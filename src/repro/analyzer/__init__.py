@@ -1,0 +1,72 @@
+"""Weblog Ads Analyzer: the paper's observer-side measurement pipeline.
+
+Classifies HTTP traffic with a Disconnect-style blacklist, detects RTB
+win notifications by macro pattern matching, extracts charge prices
+(cleartext and encrypted), reverse-geocodes client IPs, parses user
+agents, infers user interests from browsing history, and assembles the
+Table-4 feature vectors.
+"""
+
+from repro.analyzer.blacklist import (
+    ALL_GROUPS,
+    GROUP_ADVERTISING,
+    GROUP_ANALYTICS,
+    GROUP_REST,
+    GROUP_SOCIAL,
+    GROUP_THIRD_PARTY,
+    DomainBlacklist,
+    default_blacklist,
+)
+from repro.analyzer.detector import (
+    DetectedNotification,
+    classify_rows,
+    detect_notifications,
+    is_sync_beacon,
+    is_web_beacon,
+)
+from repro.analyzer.features import (
+    CORE_FEATURES,
+    CORE_FEATURES_WITH_PUBLISHER,
+    AdvertiserAggregates,
+    FeatureExtractor,
+    UserAggregates,
+)
+from repro.analyzer.geoip import GeoIpResolver, GeoLookup
+from repro.analyzer.interests import (
+    PublisherDirectory,
+    infer_interests,
+    visited_publishers,
+)
+from repro.analyzer.pipeline import AnalysisResult, PriceObservation, WeblogAnalyzer
+from repro.analyzer.useragent import ParsedUserAgent, parse_user_agent
+
+__all__ = [
+    "DomainBlacklist",
+    "default_blacklist",
+    "ALL_GROUPS",
+    "GROUP_ADVERTISING",
+    "GROUP_ANALYTICS",
+    "GROUP_SOCIAL",
+    "GROUP_THIRD_PARTY",
+    "GROUP_REST",
+    "DetectedNotification",
+    "detect_notifications",
+    "classify_rows",
+    "is_sync_beacon",
+    "is_web_beacon",
+    "FeatureExtractor",
+    "UserAggregates",
+    "AdvertiserAggregates",
+    "CORE_FEATURES",
+    "CORE_FEATURES_WITH_PUBLISHER",
+    "GeoIpResolver",
+    "GeoLookup",
+    "PublisherDirectory",
+    "infer_interests",
+    "visited_publishers",
+    "AnalysisResult",
+    "PriceObservation",
+    "WeblogAnalyzer",
+    "ParsedUserAgent",
+    "parse_user_agent",
+]

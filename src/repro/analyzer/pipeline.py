@@ -1,0 +1,203 @@
+"""The end-to-end Weblog Ads Analyzer (paper section 4.1).
+
+Chains the pieces: blacklist classification -> nURL detection -> price
+and metadata extraction -> feature aggregation, producing a list of
+:class:`PriceObservation` rows that every figure/table of the
+evaluation consumes.  All derivations are observer-side: the analyzer
+sees only HTTP rows (URL, UA, client IP, sizes), never the simulator's
+ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analyzer.blacklist import DomainBlacklist, default_blacklist
+from repro.analyzer.detector import (
+    DetectedNotification,
+    classify_rows,
+    detect_notifications,
+)
+from repro.analyzer.features import FeatureExtractor
+from repro.analyzer.geoip import GeoIpResolver
+from repro.analyzer.interests import PublisherDirectory
+from repro.analyzer.useragent import parse_user_agent
+from repro.trace.weblog import HttpRequest
+from repro.util.timeutil import month_of, year_of
+
+
+@dataclass(frozen=True)
+class PriceObservation:
+    """One RTB charge-price observation, fully observer-derived."""
+
+    timestamp: float
+    user_id: str
+    adx: str
+    dsp: str
+    is_encrypted: bool
+    price_cpm: float | None          # None when encrypted
+    encrypted_token: str | None
+    slot_size: str | None
+    publisher: str
+    publisher_iab: str
+    city: str
+    os: str
+    device_type: str
+    context: str                     # "app" | "web"
+    campaign_id: str
+    n_url_params: int
+
+    @property
+    def month(self) -> int:
+        return month_of(self.timestamp)
+
+    @property
+    def year(self) -> int:
+        return year_of(self.timestamp)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer pass produces."""
+
+    observations: list[PriceObservation]
+    traffic_counts: Counter
+    extractor: FeatureExtractor
+    notifications: list[DetectedNotification] = field(default_factory=list)
+
+    # -- basic selections ------------------------------------------------
+
+    def cleartext(self) -> list[PriceObservation]:
+        return [o for o in self.observations if not o.is_encrypted]
+
+    def encrypted(self) -> list[PriceObservation]:
+        return [o for o in self.observations if o.is_encrypted]
+
+    def cleartext_prices(self) -> list[float]:
+        return [o.price_cpm for o in self.cleartext() if o.price_cpm is not None]
+
+    # -- figure-level aggregations ----------------------------------------
+
+    def monthly_pair_encryption(self) -> dict[int, tuple[int, int]]:
+        """Per month: (encrypted pairs, cleartext pairs) -- Figure 2.
+
+        A pair is counted encrypted for a month when *any* of its
+        notifications that month was encrypted (pairs switch once).
+        """
+        seen: dict[int, dict[tuple[str, str], bool]] = defaultdict(dict)
+        for obs in self.observations:
+            pair = (obs.adx, obs.dsp)
+            month_pairs = seen[obs.month]
+            month_pairs[pair] = month_pairs.get(pair, False) or obs.is_encrypted
+        return {
+            month: (
+                sum(1 for enc in pairs.values() if enc),
+                sum(1 for enc in pairs.values() if not enc),
+            )
+            for month, pairs in seen.items()
+        }
+
+    def entity_rtb_shares(self) -> dict[str, float]:
+        """Per-ADX share of all RTB notifications -- Figure 3 x-axis."""
+        counts = Counter(o.adx for o in self.observations)
+        total = sum(counts.values())
+        return {adx: n / total for adx, n in counts.most_common()}
+
+    def entity_cleartext_shares(self) -> dict[str, float]:
+        """Per-ADX share of cleartext notifications -- Figure 3 y-axis."""
+        counts = Counter(o.adx for o in self.cleartext())
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {adx: n / total for adx, n in counts.most_common()}
+
+    def prices_by(self, key) -> dict:
+        """Group cleartext prices by an observation attribute or callable."""
+        groups: dict = defaultdict(list)
+        for obs in self.cleartext():
+            value = key(obs) if callable(key) else getattr(obs, key)
+            groups[value].append(obs.price_cpm)
+        return dict(groups)
+
+    def monthly_os_counts(self) -> dict[int, Counter]:
+        """Per month, notification counts per OS -- Figure 8."""
+        out: dict[int, Counter] = defaultdict(Counter)
+        for obs in self.observations:
+            out[obs.month][obs.os] += 1
+        return dict(out)
+
+    def monthly_slot_counts(self) -> dict[int, Counter]:
+        """Per month, notification counts per slot size -- Figure 12."""
+        out: dict[int, Counter] = defaultdict(Counter)
+        for obs in self.observations:
+            if obs.slot_size:
+                out[obs.month][obs.slot_size] += 1
+        return dict(out)
+
+    def per_user_cleartext_totals(self) -> dict[str, float]:
+        """Sum of cleartext prices per user (CPM units)."""
+        totals: dict[str, float] = defaultdict(float)
+        for obs in self.cleartext():
+            totals[obs.user_id] += obs.price_cpm
+        return dict(totals)
+
+
+class WeblogAnalyzer:
+    """The paper's analyzer: configure once, run over any weblog."""
+
+    def __init__(
+        self,
+        directory: PublisherDirectory,
+        blacklist: DomainBlacklist | None = None,
+        geoip: GeoIpResolver | None = None,
+    ):
+        self.directory = directory
+        self.blacklist = blacklist or default_blacklist()
+        self.geoip = geoip or GeoIpResolver()
+
+    def analyze(self, rows: Iterable[HttpRequest]) -> AnalysisResult:
+        """Run the full pipeline over weblog rows."""
+        rows = list(rows)
+        traffic_counts = classify_rows(rows, self.blacklist)
+        notifications = list(detect_notifications(rows, self.blacklist))
+        extractor = FeatureExtractor(
+            rows, notifications, self.blacklist, self.directory, self.geoip
+        )
+        observations = [
+            self._to_observation(det, extractor) for det in notifications
+        ]
+        return AnalysisResult(
+            observations=observations,
+            traffic_counts=traffic_counts,
+            extractor=extractor,
+            notifications=notifications,
+        )
+
+    def _to_observation(
+        self, det: DetectedNotification, extractor: FeatureExtractor
+    ) -> PriceObservation:
+        row = det.row
+        ua = parse_user_agent(row.user_agent)
+        lookup = self.geoip.lookup(row.client_ip)
+        publisher = det.parsed.params.get("pub_name", "")
+        iab = self.directory.category_of(publisher) if publisher else None
+        return PriceObservation(
+            timestamp=row.timestamp,
+            user_id=row.user_id,
+            adx=det.parsed.adx,
+            dsp=det.parsed.dsp or "unknown",
+            is_encrypted=det.parsed.is_encrypted,
+            price_cpm=det.parsed.cleartext_price_cpm,
+            encrypted_token=det.parsed.encrypted_token,
+            slot_size=det.parsed.slot_size,
+            publisher=publisher,
+            publisher_iab=iab or "unknown",
+            city=lookup.city or "unknown",
+            os=ua.os,
+            device_type=ua.device_type,
+            context=ua.context,
+            campaign_id=det.parsed.campaign_id or "",
+            n_url_params=det.n_url_params,
+        )

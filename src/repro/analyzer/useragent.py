@@ -1,0 +1,99 @@
+"""User-Agent parsing.
+
+Recovers, from the UA string alone, everything the paper's analyzer
+extracts (section 4.3): the OS family, the device class, and whether
+the request came from a native app or a mobile browser -- keying on the
+process-VM / kernel fingerprints apps leak (Dalvik/ART on Android,
+CFNetwork/Darwin on iOS) versus browser tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+OS_ANDROID = "Android"
+OS_IOS = "iOS"
+OS_WINDOWS = "Windows Mobile"
+OS_OTHER = "Other"
+
+#: Android model prefixes that indicate tablets in our catalog.
+_ANDROID_TABLET_MODELS = ("SM-T", "Nexus 7", "Nexus 10", "GT-P")
+
+
+@dataclass(frozen=True)
+class ParsedUserAgent:
+    """The device facts recoverable from one UA string."""
+
+    os: str
+    device_type: str          # "smartphone" | "tablet" | "unknown"
+    is_app: bool
+    raw: str
+
+    @property
+    def context(self) -> str:
+        """``'app'`` or ``'web'``."""
+        return "app" if self.is_app else "web"
+
+
+def parse_user_agent(ua: str) -> ParsedUserAgent:
+    """Classify one User-Agent string.
+
+    Unknown strings degrade gracefully to (Other, unknown, web) rather
+    than raising: a weblog contains plenty of exotic agents.
+    """
+    raw = ua or ""
+
+    # App runtime fingerprints come first: they are unambiguous.
+    if "Dalvik" in raw or "ART/" in raw:
+        return ParsedUserAgent(
+            os=OS_ANDROID,
+            device_type=_android_device_type(raw),
+            is_app=True,
+            raw=raw,
+        )
+    if "CFNetwork" in raw or "Darwin" in raw:
+        return ParsedUserAgent(
+            os=OS_IOS,
+            device_type=_ios_device_type(raw),
+            is_app=True,
+            raw=raw,
+        )
+
+    # Browser tokens.
+    if "Windows Phone" in raw:
+        return ParsedUserAgent(
+            os=OS_WINDOWS, device_type="smartphone", is_app=False, raw=raw
+        )
+    if "Android" in raw:
+        return ParsedUserAgent(
+            os=OS_ANDROID,
+            device_type=_android_device_type(raw),
+            is_app=False,
+            raw=raw,
+        )
+    if "iPhone" in raw:
+        return ParsedUserAgent(
+            os=OS_IOS, device_type="smartphone", is_app=False, raw=raw
+        )
+    if "iPad" in raw:
+        return ParsedUserAgent(os=OS_IOS, device_type="tablet", is_app=False, raw=raw)
+
+    return ParsedUserAgent(os=OS_OTHER, device_type="unknown", is_app=False, raw=raw)
+
+
+def _android_device_type(ua: str) -> str:
+    for prefix in _ANDROID_TABLET_MODELS:
+        if prefix in ua:
+            return "tablet"
+    return "smartphone"
+
+
+_IOS_MODEL = re.compile(r"(iPhone|iPad|iPod)[\d,]*")
+
+
+def _ios_device_type(ua: str) -> str:
+    match = _IOS_MODEL.search(ua)
+    if match is None:
+        return "unknown"
+    return "tablet" if match.group(1) == "iPad" else "smartphone"

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Four subcommands mirror the deployment's moving parts:
+
+* ``simulate`` -- generate a dataset-D weblog (and its publisher
+  directory) to disk;
+* ``analyze`` -- run the Weblog Ads Analyzer over a weblog file and
+  write the price observations;
+* ``pipeline`` -- run everything (simulate, analyze, probe campaigns,
+  train) and write the model package plus a summary;
+* ``estimate`` -- price one impression context with a saved model.
+
+Examples::
+
+    python -m repro.cli simulate --scale 0.05 --out weblog.csv.gz \
+        --directory directory.csv
+    python -m repro.cli analyze --weblog weblog.csv.gz \
+        --directory directory.csv --out observations.csv
+    python -m repro.cli pipeline --scale 0.05 --model model.json.gz
+    python -m repro.cli estimate --model model.json.gz \
+        --features '{"context": "app", "publisher_iab": "IAB3", ...}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+from repro.io import (
+    load_model_package,
+    read_directory_csv,
+    read_weblog_csv,
+    save_model_package,
+    write_directory_csv,
+    write_observations_csv,
+    write_weblog_csv,
+)
+from repro.util.rng import DEFAULT_SEED
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analyzer.interests import PublisherDirectory
+    from repro.trace.simulate import default_config, simulate_dataset
+
+    config = default_config()
+    if args.scale < 0.999:
+        config = config.scaled(args.scale)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    print(
+        f"simulating {config.n_users} users / ~{config.target_auctions:,} auctions...",
+        file=sys.stderr,
+    )
+    dataset = simulate_dataset(config)
+    rows = write_weblog_csv(dataset.rows, args.out)
+    print(f"wrote {rows:,} weblog rows to {args.out}")
+    if args.directory:
+        directory = PublisherDirectory.from_universe(dataset.universe)
+        entries = write_directory_csv(directory, args.directory)
+        print(f"wrote {entries:,} directory entries to {args.directory}")
+    summary = dataset.summary()
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analyzer.pipeline import WeblogAnalyzer
+
+    rows = read_weblog_csv(args.weblog)
+    directory = read_directory_csv(args.directory)
+    analysis = WeblogAnalyzer(directory).analyze(rows)
+    count = write_observations_csv(analysis.observations, args.out)
+    print(f"analyzed {len(rows):,} rows -> {count:,} price observations ({args.out})")
+    encrypted = len(analysis.encrypted())
+    print(
+        json.dumps(
+            {
+                "observations": count,
+                "encrypted": encrypted,
+                "cleartext": count - encrypted,
+                "traffic_groups": dict(Counter(analysis.traffic_counts)),
+                "top_exchanges": dict(
+                    list(analysis.entity_rtb_shares().items())[:5]
+                ),
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro import quickstart_pipeline
+    from repro.core.cost import CostDistribution
+
+    result = quickstart_pipeline(seed=args.seed or DEFAULT_SEED, scale=args.scale)
+    pme = result["pme"]
+    package = pme.package_model()
+    save_model_package(package, args.model)
+    print(f"model package written to {args.model}")
+
+    dist = CostDistribution.from_costs(result["costs"])
+    print(
+        json.dumps(
+            {
+                "users": len(result["costs"]),
+                "median_total_cpm": round(dist.median_total(), 2),
+                "below_100_cpm": round(dist.fraction_below(100), 3),
+                "time_correction": round(pme.state.time_correction, 3),
+                "a1_impressions": len(pme.state.campaign_a1.impressions),
+                "a2_impressions": len(pme.state.campaign_a2.impressions),
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.core.price_model import EncryptedPriceModel
+
+    package = load_model_package(args.model)
+    model = EncryptedPriceModel.from_package(package)
+    try:
+        features = json.loads(args.features)
+    except json.JSONDecodeError as exc:
+        print(f"error: --features is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(features, dict):
+        print("error: --features must be a JSON object", file=sys.stderr)
+        return 2
+    estimate = model.estimate_one(features)
+    print(json.dumps({"estimated_cpm": round(estimate, 4)}))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RTB price-transparency toolkit (IMC'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="generate a dataset-D weblog")
+    p_sim.add_argument("--scale", type=float, default=0.05,
+                       help="fraction of paper scale (default 0.05)")
+    p_sim.add_argument("--seed", type=int, default=None)
+    p_sim.add_argument("--out", required=True, help="weblog CSV(.gz) path")
+    p_sim.add_argument("--directory", default=None,
+                       help="also write the publisher directory CSV here")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_an = sub.add_parser("analyze", help="run the analyzer over a weblog")
+    p_an.add_argument("--weblog", required=True)
+    p_an.add_argument("--directory", required=True)
+    p_an.add_argument("--out", required=True, help="observations CSV path")
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_pipe = sub.add_parser("pipeline", help="simulate + analyze + train")
+    p_pipe.add_argument("--scale", type=float, default=0.05)
+    p_pipe.add_argument("--seed", type=int, default=None)
+    p_pipe.add_argument("--model", required=True, help="model JSON(.gz) path")
+    p_pipe.set_defaults(func=_cmd_pipeline)
+
+    p_est = sub.add_parser("estimate", help="estimate one encrypted price")
+    p_est.add_argument("--model", required=True)
+    p_est.add_argument("--features", required=True,
+                       help="JSON object of S features")
+    p_est.set_defaults(func=_cmd_estimate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

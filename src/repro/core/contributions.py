@@ -1,0 +1,125 @@
+"""The anonymous crowd-contribution channel (paper sections 3.2, 3.3).
+
+Participating users can contribute their observed cleartext prices and
+auction metadata to the centralised platform, which the PME folds into
+retraining.  The server enforces the privacy contract (rejects records
+carrying user identifiers or raw URLs) and basic sanity (positive,
+plausible prices), and only releases categories once enough distinct
+contributors have reported them (a k-anonymity floor against
+singling-out attacks).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+#: Fields a contribution may carry -- anything else is rejected.
+ALLOWED_FIELDS = frozenset(
+    {
+        "adx",
+        "dsp",
+        "slot_size",
+        "publisher_iab",
+        "hour_of_day",
+        "day_of_week",
+        "price_cpm",
+    }
+)
+
+#: Fields that would identify a user; their presence rejects the record.
+FORBIDDEN_FIELDS = frozenset({"user_id", "ip", "url", "cookie", "uid", "email"})
+
+#: Sanity bounds on contributed CPM prices.
+MIN_PRICE_CPM = 1e-4
+MAX_PRICE_CPM = 1_000.0
+
+
+class ContributionError(ValueError):
+    """A contribution violated the privacy or sanity contract."""
+
+
+@dataclass
+class ContributionServer:
+    """Collects anonymous price records from YourAdValue clients."""
+
+    k_anonymity: int = 3
+    _records: list[dict] = field(default_factory=list)
+    _contributors_per_key: dict[tuple, set[int]] = field(default_factory=lambda: defaultdict(set))
+    _accepted: int = 0
+    _rejected: int = 0
+
+    def submit(self, record: dict, contributor_token: int) -> bool:
+        """Validate and store one record.
+
+        ``contributor_token`` is an opaque per-installation token (the
+        server never learns who it is); it only feeds the k-anonymity
+        counting.  Returns True when accepted; raises
+        :class:`ContributionError` on contract violations.
+        """
+        present_forbidden = FORBIDDEN_FIELDS & set(record)
+        if present_forbidden:
+            self._rejected += 1
+            raise ContributionError(
+                f"record carries identifying fields: {sorted(present_forbidden)}"
+            )
+        unknown = set(record) - ALLOWED_FIELDS
+        if unknown:
+            self._rejected += 1
+            raise ContributionError(f"unknown fields: {sorted(unknown)}")
+        price = record.get("price_cpm")
+        if not isinstance(price, (int, float)) or not (
+            MIN_PRICE_CPM <= price <= MAX_PRICE_CPM
+        ):
+            self._rejected += 1
+            raise ContributionError(f"implausible price {price!r}")
+
+        self._records.append(dict(record))
+        key = (record.get("adx"), record.get("publisher_iab"))
+        self._contributors_per_key[key].add(contributor_token)
+        self._accepted += 1
+        return True
+
+    def submit_batch(self, records: list[dict], contributor_token: int) -> int:
+        """Submit many records; returns how many were accepted."""
+        accepted = 0
+        for record in records:
+            try:
+                self.submit(record, contributor_token)
+                accepted += 1
+            except ContributionError:
+                continue
+        return accepted
+
+    def training_rows(self) -> tuple[list[dict], list[float]]:
+        """Released (features, prices) -- only k-anonymous groups.
+
+        Records whose (ADX, IAB) group has fewer than ``k_anonymity``
+        distinct contributors stay quarantined until the group fills.
+        """
+        rows: list[dict] = []
+        prices: list[float] = []
+        for record in self._records:
+            key = (record.get("adx"), record.get("publisher_iab"))
+            if len(self._contributors_per_key[key]) < self.k_anonymity:
+                continue
+            features = {
+                "adx": record["adx"],
+                "dsp": record.get("dsp", "unknown"),
+                "slot_size": record.get("slot_size", "unknown"),
+                "publisher_iab": record.get("publisher_iab", "unknown"),
+                "time_of_day": int(record.get("hour_of_day", 0)) // 4,
+                "day_of_week": int(record.get("day_of_week", 0)),
+            }
+            rows.append(features)
+            prices.append(float(record["price_cpm"]))
+        return rows, prices
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "accepted": self._accepted,
+            "rejected": self._rejected,
+            "stored": len(self._records),
+            "releasable": len(self.training_rows()[0]),
+        }

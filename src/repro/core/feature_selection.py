@@ -1,0 +1,261 @@
+"""Dimensionality reduction of auction features (paper section 5.1).
+
+Reduces the ~hundreds-dimensional feature vector F to the compact set S
+that probe ad-campaigns can afford to sweep.  Following the paper:
+
+1. log-transform cleartext prices and cluster them into 4 classes
+   (:mod:`repro.core.binning`);
+2. drop constant features and extreme-variance (noise) features;
+3. group the surviving features into the paper's semantic families
+   (time, http, ad, DSP, publisher interests, user http stats, user
+   interests, user locations, device);
+4. train Random Forests with the price class as target: a full-feature
+   baseline, then per-group models; rank features by importance;
+5. greedily assemble a cross-group subset whose cross-validated
+   precision/recall stays within tolerance of the baseline (the paper
+   reports < 2% precision and < 6% recall loss).
+
+The exact publisher identity is excluded from candidates by default --
+the paper found it inflates accuracy to ~95% through overfitting and
+rejected it (section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.binning import fit_price_binner
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import cross_validate_classifier
+from repro.ml.preprocessing import FrameEncoder, VarianceFilter
+from repro.util.rng import derive_seed
+
+#: Semantic feature families (paper section 5.1's groups A-H, plus the
+#: device family that the selected set S draws device type from).
+GROUP_TIME = "time"
+GROUP_HTTP = "http"
+GROUP_AD = "ad"
+GROUP_DSP = "dsp"
+GROUP_PUBLISHER = "publisher_interests"
+GROUP_USER_HTTP = "user_http_stats"
+GROUP_USER_INTERESTS = "user_interests"
+GROUP_USER_LOCATION = "user_locations"
+GROUP_DEVICE = "device"
+
+_EXACT_GROUPS: dict[str, str] = {
+    "time_of_day": GROUP_TIME,
+    "day_of_week": GROUP_TIME,
+    "month": GROUP_TIME,
+    "hour": GROUP_TIME,
+    "is_weekend": GROUP_TIME,
+    "n_url_params": GROUP_HTTP,
+    "slot_size": GROUP_AD,
+    "adx": GROUP_AD,
+    "campaign_popularity": GROUP_AD,
+    "adv_n_requests": GROUP_AD,
+    "adv_total_bytes": GROUP_AD,
+    "adv_avg_reqs_per_user": GROUP_AD,
+    "adv_avg_duration": GROUP_AD,
+    "dsp": GROUP_DSP,
+    "publisher_iab": GROUP_PUBLISHER,
+    "publisher": GROUP_PUBLISHER,
+    "user_n_requests": GROUP_USER_HTTP,
+    "user_total_bytes": GROUP_USER_HTTP,
+    "user_avg_bytes_per_req": GROUP_USER_HTTP,
+    "user_total_duration_ms": GROUP_USER_HTTP,
+    "user_avg_duration_per_req": GROUP_USER_HTTP,
+    "user_n_syncs": GROUP_USER_HTTP,
+    "user_n_beacons": GROUP_USER_HTTP,
+    "user_n_publishers": GROUP_USER_HTTP,
+    "user_dominant_interest": GROUP_USER_INTERESTS,
+    "city": GROUP_USER_LOCATION,
+    "user_n_locations": GROUP_USER_LOCATION,
+    "context": GROUP_DEVICE,
+    "device_type": GROUP_DEVICE,
+    "os": GROUP_DEVICE,
+}
+
+
+def group_of(feature_name: str) -> str:
+    """Semantic family of one feature name."""
+    if feature_name in _EXACT_GROUPS:
+        return _EXACT_GROUPS[feature_name]
+    if feature_name.startswith("interest_"):
+        return GROUP_USER_INTERESTS
+    if feature_name.startswith(("hour_", "dow_")):
+        return GROUP_TIME
+    return GROUP_HTTP
+
+
+@dataclass
+class SelectionReport:
+    """Outcome of one dimensionality-reduction run."""
+
+    selected_features: list[str]
+    baseline_accuracy: float
+    selected_accuracy: float
+    baseline_precision: float
+    selected_precision: float
+    baseline_recall: float
+    selected_recall: float
+    group_scores: dict[str, float]
+    importances: dict[str, float]
+    n_features_input: int
+    n_features_after_filters: int
+    dropped_constant_or_noise: list[str] = field(default_factory=list)
+
+    @property
+    def precision_loss(self) -> float:
+        return self.baseline_precision - self.selected_precision
+
+    @property
+    def recall_loss(self) -> float:
+        return self.baseline_recall - self.selected_recall
+
+
+class DimensionalityReducer:
+    """The PME's feature-selection stage."""
+
+    def __init__(
+        self,
+        n_classes: int = 4,
+        n_folds: int = 3,
+        n_estimators: int = 25,
+        max_depth: int = 12,
+        max_rows: int = 8_000,
+        tolerance_accuracy: float = 0.02,
+        allow_publisher: bool = False,
+        seed: int = 0,
+    ):
+        self.n_classes = n_classes
+        self.n_folds = n_folds
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_rows = max_rows
+        self.tolerance_accuracy = tolerance_accuracy
+        self.allow_publisher = allow_publisher
+        self.seed = seed
+
+    def _forest_factory(self, salt: str):
+        seed = derive_seed(self.seed, salt)
+
+        def factory() -> RandomForestClassifier:
+            return RandomForestClassifier(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                min_samples_leaf=5,
+                seed=seed,
+            )
+
+        return factory
+
+    def _cv_scores(self, x: np.ndarray, y: np.ndarray, salt: str) -> tuple[float, float, float]:
+        result = cross_validate_classifier(
+            self._forest_factory(salt), x, y,
+            n_folds=self.n_folds, seed=derive_seed(self.seed, f"cv:{salt}"),
+        )
+        return result.accuracy, result.precision, result.recall
+
+    def fit(
+        self,
+        feature_rows: Sequence[Mapping[str, Hashable]],
+        prices: Sequence[float],
+    ) -> SelectionReport:
+        """Run the full selection pipeline.
+
+        ``feature_rows`` are the analyzer's full vectors for cleartext
+        notifications; ``prices`` the matching cleartext CPM prices.
+        """
+        if len(feature_rows) != len(prices):
+            raise ValueError("feature_rows and prices lengths differ")
+        if len(feature_rows) < 50:
+            raise ValueError("need at least 50 cleartext observations")
+
+        rng = np.random.default_rng(derive_seed(self.seed, "subsample"))
+        if len(feature_rows) > self.max_rows:
+            picks = rng.choice(len(feature_rows), size=self.max_rows, replace=False)
+            feature_rows = [feature_rows[i] for i in picks]
+            prices = [prices[i] for i in picks]
+
+        binner = fit_price_binner(list(prices), n_classes=self.n_classes)
+        y = binner.assign(list(prices))
+
+        names = sorted({k for row in feature_rows for k in row})
+        if not self.allow_publisher:
+            names = [n for n in names if n != "publisher"]
+        encoder = FrameEncoder(names)
+        x = encoder.fit_transform(list(feature_rows))
+
+        # Constant / extreme-variance filtering.
+        var_filter = VarianceFilter()
+        var_filter.fit(x)
+        kept_names = var_filter.kept_names(names)
+        dropped = [n for n in names if n not in set(kept_names)]
+        x = var_filter.transform(x)
+
+        baseline_acc, baseline_prec, baseline_rec = self._cv_scores(x, y, "baseline")
+
+        # Importance ranking from one full-feature forest.
+        full_forest = self._forest_factory("importance")()
+        full_forest.fit(x, y)
+        assert full_forest.feature_importances_ is not None
+        importances = dict(zip(kept_names, full_forest.feature_importances_))
+
+        # Per-group predictive power.
+        group_scores: dict[str, float] = {}
+        groups: dict[str, list[int]] = {}
+        for j, name in enumerate(kept_names):
+            groups.setdefault(group_of(name), []).append(j)
+        for group, cols in sorted(groups.items()):
+            acc, _, _ = self._cv_scores(x[:, cols], y, f"group:{group}")
+            group_scores[group] = acc
+
+        # Greedy cross-group assembly: best feature of each group first,
+        # ordered by importance, until accuracy is within tolerance.
+        representatives: list[tuple[float, str, int]] = []
+        for group, cols in groups.items():
+            best = max(cols, key=lambda j: importances[kept_names[j]])
+            representatives.append((importances[kept_names[best]], kept_names[best], best))
+        representatives.sort(reverse=True)
+
+        remaining = sorted(
+            (
+                (importances[kept_names[j]], kept_names[j], j)
+                for cols in groups.values()
+                for j in cols
+                if kept_names[j] not in {name for _, name, _ in representatives}
+            ),
+            reverse=True,
+        )
+        candidates = representatives + remaining
+
+        selected_cols: list[int] = []
+        selected_acc = selected_prec = selected_rec = 0.0
+        for _, _, col in candidates:
+            selected_cols.append(col)
+            if len(selected_cols) < 3:
+                continue
+            selected_acc, selected_prec, selected_rec = self._cv_scores(
+                x[:, selected_cols], y, f"greedy:{len(selected_cols)}"
+            )
+            if selected_acc >= baseline_acc - self.tolerance_accuracy:
+                break
+
+        selected = [kept_names[j] for j in selected_cols]
+        return SelectionReport(
+            selected_features=selected,
+            baseline_accuracy=baseline_acc,
+            selected_accuracy=selected_acc,
+            baseline_precision=baseline_prec,
+            selected_precision=selected_prec,
+            baseline_recall=baseline_rec,
+            selected_recall=selected_rec,
+            group_scores=group_scores,
+            importances=importances,
+            n_features_input=len(names),
+            n_features_after_filters=len(kept_names),
+            dropped_constant_or_noise=dropped,
+        )

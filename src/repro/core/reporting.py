@@ -1,0 +1,115 @@
+"""Human-readable transparency reports.
+
+Renders the YourAdValue client's ledger (or a back-end
+:class:`~repro.core.cost.UserCost`) into the kind of report the paper's
+discussion section motivates: what each slice of a user's personal
+data context was worth to advertisers, with the CPM-assumption caveat
+made explicit.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.core.costmodels import CostModelAssumptions, cost_bounds
+from repro.core.youradvalue import LedgerEntry
+from repro.util.money import format_cpm, format_usd
+
+
+def _group_totals(entries: Iterable[LedgerEntry], key) -> list[tuple[str, float, int]]:
+    totals: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    for entry in entries:
+        label = key(entry)
+        totals[label] += entry.amount_cpm
+        counts[label] += 1
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1])
+    return [(label, total, counts[label]) for label, total in ranked]
+
+
+def render_transparency_report(
+    entries: list[LedgerEntry],
+    assumptions: CostModelAssumptions | None = None,
+    top_k: int = 5,
+) -> str:
+    """A plain-text transparency report over a client ledger."""
+    if not entries:
+        return "No RTB charge prices observed yet."
+
+    cleartext = [e for e in entries if not e.encrypted]
+    encrypted = [e for e in entries if e.encrypted]
+    total_cpm = sum(e.amount_cpm for e in entries)
+    bounds = cost_bounds(total_cpm, assumptions)
+
+    lines = ["=== YourAdValue transparency report ==="]
+    lines.append(
+        f"ads observed: {len(entries)} "
+        f"({len(cleartext)} cleartext, {len(encrypted)} encrypted/estimated)"
+    )
+    lines.append(
+        f"total advertiser spend (CPM assumption): {format_cpm(total_cpm)} "
+        f"= {format_usd(total_cpm / 1000.0)}"
+    )
+    lines.append(
+        f"cost-model sensitivity: expected {format_usd(bounds.expected / 1000.0)}, "
+        f"interval [{format_usd(bounds.lower / 1000.0)}, "
+        f"{format_usd(bounds.upper / 1000.0)}]"
+    )
+
+    lines.append("")
+    lines.append("what your context was worth (top exchanges):")
+    for label, amount, count in _group_totals(entries, lambda e: e.adx)[:top_k]:
+        lines.append(f"  {label:<14} {format_cpm(amount):>12}  ({count} ads)")
+
+    lines.append("")
+    lines.append("by content category:")
+    for label, amount, count in _group_totals(
+        entries, lambda e: e.publisher_iab
+    )[:top_k]:
+        lines.append(f"  {label:<14} {format_cpm(amount):>12}  ({count} ads)")
+
+    lines.append("")
+    lines.append("by ad format:")
+    for label, amount, count in _group_totals(
+        entries, lambda e: e.slot_size or "unknown"
+    )[:top_k]:
+        lines.append(f"  {label:<14} {format_cpm(amount):>12}  ({count} ads)")
+
+    if encrypted:
+        estimated = sum(e.amount_cpm for e in encrypted)
+        lines.append("")
+        lines.append(
+            f"note: {format_cpm(estimated)} of the total is estimated from "
+            "encrypted notifications using the PME's model."
+        )
+    return "\n".join(lines)
+
+
+def render_regulator_report(exchange_revenues, top_k: int = 10) -> str:
+    """The section-8 regulator/tax-auditor view.
+
+    Takes the output of
+    :func:`repro.core.cost.exchange_revenue_estimates` and renders the
+    independent per-company revenue estimate the paper proposes
+    auditors could compare against tax declarations.
+    """
+    if not exchange_revenues:
+        return "No exchange revenue observed."
+    ranked = sorted(exchange_revenues.values(), key=lambda r: -r.total_cpm)
+    total = sum(r.total_cpm for r in ranked)
+    lines = ["=== independent exchange revenue estimate (auditor view) ==="]
+    lines.append(
+        f"{'exchange':<14} {'cleartext':>11} {'encrypted*':>11} "
+        f"{'total':>11} {'share':>7}"
+    )
+    for revenue in ranked[:top_k]:
+        lines.append(
+            f"{revenue.adx:<14} {format_cpm(revenue.cleartext_cpm):>11} "
+            f"{format_cpm(revenue.encrypted_estimated_cpm):>11} "
+            f"{format_cpm(revenue.total_cpm):>11} "
+            f"{revenue.total_cpm / total:>6.1%}"
+        )
+    lines.append(f"{'TOTAL':<14} {'':>11} {'':>11} {format_cpm(total):>11}")
+    lines.append("* estimated with the PME model; cleartext sums are exact.")
+    return "\n".join(lines)

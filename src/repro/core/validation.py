@@ -1,0 +1,116 @@
+"""Market-level validation of the methodology (paper section 6.3).
+
+The paper sanity-checks its per-user costs by extrapolating the
+observed mobile-HTTP ad spend to the user's *whole* digital footprint
+and comparing with the ARPU major platforms report.  Five factors scale
+the observed 25th-75th percentile annual cost (8-102 CPM = $0.008-0.102)
+up to the $0.54-6.85 range, bracketed by Twitter's $7-8 and Facebook's
+$14-17 ARPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: ARPU figures the paper cites for 2015-2016 (USD per user).
+REPORTED_ARPU: dict[str, tuple[float, float]] = {
+    "Twitter/MoPub": (7.0, 8.0),
+    "Facebook": (14.0, 17.0),
+}
+
+
+@dataclass(frozen=True)
+class MarketFactors:
+    """The extrapolation factors of section 6.3, with paper defaults."""
+
+    #: (1) the observed 2.65 h/day is ~83% of average mobile usage.
+    observed_fraction_of_mobile: float = 0.83
+    #: (2) mobile is ~51% of total internet time.
+    mobile_fraction_of_internet: float = 0.51
+    #: (3) HTTP (observable) is ~40% of traffic.
+    http_fraction: float = 0.40
+    #: (4) RTB management/intermediary overhead is ~55% of ad spend, so
+    #: advertisers pay media-cost / (1 - 0.55).
+    rtb_overhead: float = 0.55
+    #: (5) RTB is ~20% of total online advertising.
+    rtb_fraction_of_advertising: float = 0.20
+
+    def __post_init__(self) -> None:
+        for name in (
+            "observed_fraction_of_mobile",
+            "mobile_fraction_of_internet",
+            "http_fraction",
+            "rtb_fraction_of_advertising",
+        ):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if not 0.0 <= self.rtb_overhead < 1.0:
+            raise ValueError("rtb_overhead must be in [0, 1)")
+
+    @property
+    def multiplier(self) -> float:
+        """Observed-CPM-dollars -> full-footprint-dollars multiplier."""
+        return (
+            1.0
+            / self.observed_fraction_of_mobile
+            / self.mobile_fraction_of_internet
+            / self.http_fraction
+            / (1.0 - self.rtb_overhead)
+            / self.rtb_fraction_of_advertising
+        )
+
+
+def extrapolate_user_value_usd(
+    annual_cost_cpm: float, factors: MarketFactors | None = None
+) -> float:
+    """Full-footprint annual dollar value of a user from observed CPM."""
+    if annual_cost_cpm < 0:
+        raise ValueError("annual cost must be non-negative")
+    factors = factors or MarketFactors()
+    return annual_cost_cpm / 1000.0 * factors.multiplier
+
+
+@dataclass(frozen=True)
+class ArpuValidation:
+    """Result of the section-6.3 comparison."""
+
+    observed_p25_cpm: float
+    observed_p75_cpm: float
+    extrapolated_low_usd: float
+    extrapolated_high_usd: float
+    multiplier: float
+
+    def brackets(self, reported: tuple[float, float]) -> bool:
+        """Is the extrapolated range within ~one order of magnitude of a
+        reported ARPU band?  (The paper claims order-of-magnitude
+        agreement, not equality.)"""
+        low, high = reported
+        return (
+            self.extrapolated_high_usd >= low / 10.0
+            and self.extrapolated_low_usd <= high
+        )
+
+    def agrees_with_market(self) -> bool:
+        return all(self.brackets(band) for band in REPORTED_ARPU.values())
+
+
+def validate_arpu(
+    total_costs_cpm: np.ndarray | list[float],
+    factors: MarketFactors | None = None,
+) -> ArpuValidation:
+    """Run the section-6.3 extrapolation on a user-cost sample."""
+    arr = np.asarray(list(total_costs_cpm), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty cost sample")
+    factors = factors or MarketFactors()
+    p25, p75 = np.percentile(arr, [25, 75])
+    return ArpuValidation(
+        observed_p25_cpm=float(p25),
+        observed_p75_cpm=float(p75),
+        extrapolated_low_usd=extrapolate_user_value_usd(float(p25), factors),
+        extrapolated_high_usd=extrapolate_user_value_usd(float(p75), factors),
+        multiplier=factors.multiplier,
+    )

@@ -1,0 +1,182 @@
+"""Random Forests with OOB error and Gini feature importances.
+
+The paper uses Random Forests twice: (1) for dimensionality reduction,
+ranking semantic feature groups by their power to explain the cleartext
+price classes (section 5.1), chosen over PCA because RF "takes into
+account the target variable ... maintains interpretability of features
+and generally does not overfit"; and (2) as the encrypted-price
+classifier itself (section 5.4).  Both uses need feature importances,
+out-of-bag error, and class-probability outputs for AUCROC -- all
+implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.util.rng import derive_seed
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated CART classifier with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        max_features: int | str | None = "sqrt",
+        criterion: str = "gini",
+        bootstrap: bool = True,
+        oob_score: bool = False,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.criterion = criterion
+        self.bootstrap = bootstrap
+        self.oob_score = oob_score
+        self.seed = int(seed)
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.n_classes_: int = 0
+        self.n_features_: int = 0
+        self.feature_importances_: np.ndarray | None = None
+        self.oob_score_: float | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("bad shapes for x/y")
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on zero samples")
+        self.n_features_ = x.shape[1]
+        self.n_classes_ = int(y.max()) + 1
+        self.trees_ = []
+
+        oob_votes = (
+            np.zeros((n, self.n_classes_), dtype=float) if self.oob_score else None
+        )
+        importances = np.zeros(self.n_features_)
+
+        for t in range(self.n_estimators):
+            rng = np.random.default_rng(derive_seed(self.seed, f"tree-{t}"))
+            if self.bootstrap:
+                indices = rng.integers(0, n, size=n)
+            else:
+                indices = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                min_samples_split=self.min_samples_split,
+                max_features=self.max_features,
+                criterion=self.criterion,
+                rng=rng,
+            )
+            tree.fit(x[indices], y[indices])
+            # A bootstrap sample can miss high classes; re-align tree output
+            # to the forest's class space.
+            self.trees_.append(tree)
+            if tree.feature_importances_ is not None:
+                importances += tree.feature_importances_
+
+            if oob_votes is not None and self.bootstrap:
+                mask = np.ones(n, dtype=bool)
+                mask[indices] = False
+                if mask.any():
+                    probs = tree.predict_proba(x[mask])
+                    oob_votes[mask, : probs.shape[1]] += probs
+
+        importances /= self.n_estimators
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+
+        if oob_votes is not None:
+            voted = oob_votes.sum(axis=1) > 0
+            if voted.any():
+                oob_pred = np.argmax(oob_votes[voted], axis=1)
+                self.oob_score_ = float(np.mean(oob_pred == y[voted]))
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Average of member-tree leaf class frequencies."""
+        self._check_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        total = np.zeros((x.shape[0], self.n_classes_), dtype=float)
+        for tree in self.trees_:
+            probs = tree.predict_proba(x)
+            total[:, : probs.shape[1]] += probs
+        return total / len(self.trees_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority (probability-averaged) class per row."""
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    @property
+    def oob_error_(self) -> float | None:
+        """Out-of-bag misclassification rate (``1 - oob_score_``)."""
+        return None if self.oob_score_ is None else 1.0 - self.oob_score_
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated CART regressor (regression baseline)."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = int(seed)
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("bad shapes for x/y")
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on zero samples")
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            rng = np.random.default_rng(derive_seed(self.seed, f"rtree-{t}"))
+            indices = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(x[indices], y[indices])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        total = np.zeros(x.shape[0], dtype=float)
+        for tree in self.trees_:
+            total += tree.predict(x)
+        return total / len(self.trees_)

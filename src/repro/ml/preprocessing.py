@@ -1,0 +1,321 @@
+"""Feature preprocessing: encoders and filters.
+
+The PME's dimensionality-reduction pipeline (paper section 5.1) drops
+constant features, drops near-noise features with extreme variance, and
+optionally applies a high-correlation filter when no target variable is
+available.  Categorical auction metadata (ADX name, city, IAB category,
+slot size, ...) is encoded ordinally for the tree models -- decision
+trees only need an arbitrary but consistent ordering to split on
+category identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+
+class OrdinalEncoder:
+    """Map categorical values to dense integer codes, column-wise.
+
+    Unknown categories at transform time map to ``-1`` (a code no training
+    sample has), which tree models treat as "falls to the left of every
+    threshold" -- a deliberate, deterministic handling of unseen values.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[dict[Hashable, int]] = []
+
+    def fit(self, columns: Sequence[Sequence[Hashable]]) -> "OrdinalEncoder":
+        """Learn category codes from ``columns`` (list of value-columns)."""
+        self.categories_ = []
+        for col in columns:
+            mapping: dict[Hashable, int] = {}
+            for value in col:
+                if value not in mapping:
+                    mapping[value] = len(mapping)
+            self.categories_.append(mapping)
+        return self
+
+    def transform(self, columns: Sequence[Sequence[Hashable]]) -> np.ndarray:
+        """Encode columns into an ``(n_samples, n_features)`` float matrix."""
+        if len(columns) != len(self.categories_):
+            raise ValueError(
+                f"expected {len(self.categories_)} columns, got {len(columns)}"
+            )
+        n = len(columns[0]) if columns else 0
+        out = np.empty((n, len(columns)), dtype=float)
+        for j, (col, mapping) in enumerate(zip(columns, self.categories_)):
+            out[:, j] = [mapping.get(v, -1) for v in col]
+        return out
+
+    def fit_transform(self, columns: Sequence[Sequence[Hashable]]) -> np.ndarray:
+        return self.fit(columns).transform(columns)
+
+    def vocabulary(self, feature: int) -> dict[Hashable, int]:
+        """The learned code table for one feature column."""
+        return dict(self.categories_[feature])
+
+
+class OneHotEncoder:
+    """Expand categorical columns into 0/1 indicator columns.
+
+    Used by the regression baseline (section 5.4 reports that regression
+    on the raw features performs poorly; we reproduce that comparison).
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[list[Hashable]] = []
+
+    def fit(self, columns: Sequence[Sequence[Hashable]]) -> "OneHotEncoder":
+        self.categories_ = []
+        for col in columns:
+            seen: dict[Hashable, None] = {}
+            for value in col:
+                seen.setdefault(value, None)
+            self.categories_.append(list(seen))
+        return self
+
+    def transform(self, columns: Sequence[Sequence[Hashable]]) -> np.ndarray:
+        if len(columns) != len(self.categories_):
+            raise ValueError(
+                f"expected {len(self.categories_)} columns, got {len(columns)}"
+            )
+        n = len(columns[0]) if columns else 0
+        blocks: list[np.ndarray] = []
+        for col, cats in zip(columns, self.categories_):
+            index = {c: i for i, c in enumerate(cats)}
+            block = np.zeros((n, len(cats)), dtype=float)
+            for row, value in enumerate(col):
+                j = index.get(value)
+                if j is not None:
+                    block[row, j] = 1.0
+            blocks.append(block)
+        if not blocks:
+            return np.empty((n, 0), dtype=float)
+        return np.hstack(blocks)
+
+    def fit_transform(self, columns: Sequence[Sequence[Hashable]]) -> np.ndarray:
+        return self.fit(columns).transform(columns)
+
+    @property
+    def n_output_features(self) -> int:
+        return sum(len(c) for c in self.categories_)
+
+    def feature_names(self, input_names: Sequence[str]) -> list[str]:
+        """Names for the expanded columns, ``"<col>=<category>"``."""
+        if len(input_names) != len(self.categories_):
+            raise ValueError("one input name per fitted column required")
+        names = []
+        for name, cats in zip(input_names, self.categories_):
+            names.extend(f"{name}={c}" for c in cats)
+        return names
+
+
+class Standardizer:
+    """Zero-mean unit-variance scaling (used by PCA and regression)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "Standardizer":
+        x = np.asarray(matrix, dtype=float)
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0.0] = 1.0  # constant columns pass through centred
+        self.scale_ = scale
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("Standardizer must be fitted before transform")
+        return (np.asarray(matrix, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+
+@dataclass
+class VarianceFilter:
+    """Drop constant and near-noise columns (paper section 5.1).
+
+    The paper filters features "that did not vary at all (constants) or
+    had very high variance (99%) (likely to be noise)".  We interpret the
+    high end as: drop columns whose variance exceeds the ``upper_quantile``
+    quantile of the per-column variance distribution.
+    """
+
+    lower: float = 0.0
+    upper_quantile: float | None = 0.99
+    kept_: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, matrix: np.ndarray) -> "VarianceFilter":
+        x = np.asarray(matrix, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        variances = x.var(axis=0)
+        keep = variances > self.lower
+        if self.upper_quantile is not None and x.shape[1] > 1:
+            cutoff = np.quantile(variances, self.upper_quantile)
+            # Strictly above the cutoff is treated as noise; ties survive.
+            keep &= variances <= cutoff
+        if not np.any(keep):
+            raise ValueError("variance filter would drop every feature")
+        self.kept_ = np.flatnonzero(keep)
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.kept_ is None:
+            raise RuntimeError("VarianceFilter must be fitted before transform")
+        return np.asarray(matrix, dtype=float)[:, self.kept_]
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+    def kept_names(self, names: Sequence[str]) -> list[str]:
+        if self.kept_ is None:
+            raise RuntimeError("VarianceFilter must be fitted first")
+        return [names[i] for i in self.kept_]
+
+
+@dataclass
+class CorrelationFilter:
+    """Drop one of each pair of highly correlated columns.
+
+    The paper proposes this as the target-free fallback when cleartext
+    prices are too scarce to drive supervised feature selection: features
+    carrying (nearly) the same information are collapsed to one
+    representative (the earlier column wins, keeping the filter
+    deterministic).
+    """
+
+    threshold: float = 0.95
+    kept_: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, matrix: np.ndarray) -> "CorrelationFilter":
+        x = np.asarray(matrix, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        n_features = x.shape[1]
+        if n_features == 0:
+            raise ValueError("no features to filter")
+        std = x.std(axis=0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            corr = np.corrcoef(x, rowvar=False)
+        corr = np.atleast_2d(corr)
+        keep = np.ones(n_features, dtype=bool)
+        for i in range(n_features):
+            if not keep[i]:
+                continue
+            for j in range(i + 1, n_features):
+                if not keep[j]:
+                    continue
+                if std[i] == 0.0 or std[j] == 0.0:
+                    continue
+                if abs(corr[i, j]) >= self.threshold:
+                    keep[j] = False
+        self.kept_ = np.flatnonzero(keep)
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.kept_ is None:
+            raise RuntimeError("CorrelationFilter must be fitted before transform")
+        return np.asarray(matrix, dtype=float)[:, self.kept_]
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+    def kept_names(self, names: Sequence[str]) -> list[str]:
+        if self.kept_ is None:
+            raise RuntimeError("CorrelationFilter must be fitted first")
+        return [names[i] for i in self.kept_]
+
+
+class FrameEncoder:
+    """Encode lists of feature dicts into numeric matrices.
+
+    Column types (numeric vs categorical) are decided once at fit time
+    and remembered, so inference-time rows are encoded with the exact
+    training-time schema.  Numeric values pass through; categorical
+    values are ordinally encoded; unseen categories become ``-1``.
+    """
+
+    def __init__(self, feature_names: Sequence[str]):
+        if not feature_names:
+            raise ValueError("feature_names must not be empty")
+        self.feature_names = list(feature_names)
+        self._numeric_mask: list[bool] | None = None
+        self._encoder: OrdinalEncoder | None = None
+
+    @staticmethod
+    def _is_numeric(value: Hashable) -> bool:
+        return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+            value, bool
+        )
+
+    def _columns(self, rows: Sequence[Mapping[str, Hashable]]) -> list[list[Hashable]]:
+        return [[row.get(name) for row in rows] for name in self.feature_names]
+
+    def fit(self, rows: Sequence[Mapping[str, Hashable]]) -> "FrameEncoder":
+        if not rows:
+            raise ValueError("cannot fit an encoder on zero rows")
+        columns = self._columns(rows)
+        self._numeric_mask = [all(self._is_numeric(v) for v in col) for col in columns]
+        categorical = [c for c, num in zip(columns, self._numeric_mask) if not num]
+        self._encoder = OrdinalEncoder().fit(categorical)
+        return self
+
+    def transform(self, rows: Sequence[Mapping[str, Hashable]]) -> np.ndarray:
+        if self._numeric_mask is None or self._encoder is None:
+            raise RuntimeError("FrameEncoder must be fitted before transform")
+        columns = self._columns(rows)
+        categorical = [c for c, num in zip(columns, self._numeric_mask) if not num]
+        encoded = (
+            self._encoder.transform(categorical)
+            if categorical
+            else np.empty((len(rows), 0))
+        )
+        out = np.empty((len(rows), len(self.feature_names)), dtype=float)
+        cat_j = 0
+        for j, (col, is_numeric) in enumerate(zip(columns, self._numeric_mask)):
+            if is_numeric:
+                out[:, j] = [float(v) if v is not None else -1.0 for v in col]
+            else:
+                out[:, j] = encoded[:, cat_j]
+                cat_j += 1
+        return out
+
+    def fit_transform(self, rows: Sequence[Mapping[str, Hashable]]) -> np.ndarray:
+        return self.fit(rows).transform(rows)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (for shipping fitted encoders to clients)."""
+        if self._numeric_mask is None or self._encoder is None:
+            raise RuntimeError("FrameEncoder must be fitted before to_dict")
+        return {
+            "feature_names": list(self.feature_names),
+            "numeric_mask": list(self._numeric_mask),
+            "vocabulary": [
+                {str(k): v for k, v in mapping.items()}
+                for mapping in self._encoder.categories_
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FrameEncoder":
+        """Rebuild a fitted encoder from :meth:`to_dict` output.
+
+        Category keys are restored as strings, which matches the string
+        categorical values used throughout the analyzer.
+        """
+        encoder = cls(list(payload["feature_names"]))
+        encoder._numeric_mask = [bool(b) for b in payload["numeric_mask"]]
+        ordinal = OrdinalEncoder()
+        ordinal.categories_ = [
+            {k: int(v) for k, v in vocab.items()} for vocab in payload["vocabulary"]
+        ]
+        encoder._encoder = ordinal
+        return encoder

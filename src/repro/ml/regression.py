@@ -1,0 +1,76 @@
+"""Linear and ridge regression.
+
+Section 5.4: "we first applied regression models with different
+combinations of dependent variables (S).  However, the high variability
+of charge prices lead to low performance (high error) of the regression
+models.  Therefore, we proceeded to split the prices into groups for
+classification."  These baselines exist to reproduce that negative
+result quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require_non_negative
+
+
+class LinearRegression:
+    """Ordinary least squares with an intercept, solved by lstsq."""
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("bad shapes for x/y")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        design = np.hstack([np.ones((x.shape[0], 1)), x])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.intercept_ = float(solution[0])
+        self.coef_ = solution[1:]
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return x @ self.coef_ + self.intercept_
+
+
+class RidgeRegression:
+    """L2-regularised least squares (intercept unpenalised)."""
+
+    def __init__(self, alpha: float = 1.0):
+        require_non_negative(alpha, "alpha")
+        self.alpha = float(alpha)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("bad shapes for x/y")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        # Centre so the intercept absorbs the means and stays unpenalised.
+        x_mean = x.mean(axis=0)
+        y_mean = float(y.mean())
+        xc = x - x_mean
+        yc = y - y_mean
+        d = x.shape[1]
+        gram = xc.T @ xc + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, xc.T @ yc)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return x @ self.coef_ + self.intercept_

@@ -1,0 +1,126 @@
+"""Model serialisation.
+
+The PME ships its fitted model to YourAdValue clients "in the form of a
+decision tree" (paper section 3.2).  We serialise trees and forests to
+plain JSON-compatible dicts: the client needs no training code, only
+the traversal logic, mirroring how a browser extension would embed the
+model.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier, TreeNode
+
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: TreeNode) -> dict[str, Any]:
+    if node.is_leaf:
+        value = node.value
+        if isinstance(value, np.ndarray):
+            payload: Any = [float(v) for v in value]
+        else:
+            payload = float(value)
+        return {
+            "leaf": True,
+            "value": payload,
+            "n": node.n_samples,
+            "impurity": node.impurity,
+        }
+    assert node.left is not None and node.right is not None
+    return {
+        "leaf": False,
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "n": node.n_samples,
+        "impurity": node.impurity,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(payload: dict[str, Any]) -> TreeNode:
+    if payload["leaf"]:
+        value = payload["value"]
+        if isinstance(value, list):
+            value = np.asarray(value, dtype=float)
+        return TreeNode(
+            value=value, n_samples=int(payload["n"]), impurity=float(payload["impurity"])
+        )
+    return TreeNode(
+        value=np.zeros(0),
+        n_samples=int(payload["n"]),
+        impurity=float(payload["impurity"]),
+        feature=int(payload["feature"]),
+        threshold=float(payload["threshold"]),
+        left=_node_from_dict(payload["left"]),
+        right=_node_from_dict(payload["right"]),
+    )
+
+
+def tree_to_dict(tree: DecisionTreeClassifier) -> dict[str, Any]:
+    """Serialise a fitted classifier tree to a JSON-compatible dict."""
+    if tree.root_ is None:
+        raise ValueError("cannot serialise an unfitted tree")
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "decision_tree_classifier",
+        "n_classes": tree.n_classes_,
+        "n_features": tree.n_features_,
+        "criterion": tree.criterion,
+        "root": _node_to_dict(tree.root_),
+    }
+
+
+def tree_from_dict(payload: dict[str, Any]) -> DecisionTreeClassifier:
+    """Rebuild a classifier tree from :func:`tree_to_dict` output."""
+    if payload.get("kind") != "decision_tree_classifier":
+        raise ValueError(f"not a serialised tree: kind={payload.get('kind')!r}")
+    tree = DecisionTreeClassifier(criterion=payload.get("criterion", "gini"))
+    tree.n_classes_ = int(payload["n_classes"])
+    tree.n_features_ = int(payload["n_features"])
+    tree.root_ = _node_from_dict(payload["root"])
+    return tree
+
+
+def forest_to_dict(forest: RandomForestClassifier) -> dict[str, Any]:
+    """Serialise a fitted forest (all member trees)."""
+    if not forest.trees_:
+        raise ValueError("cannot serialise an unfitted forest")
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "random_forest_classifier",
+        "n_classes": forest.n_classes_,
+        "n_features": forest.n_features_,
+        "trees": [tree_to_dict(t) for t in forest.trees_],
+    }
+
+
+def forest_from_dict(payload: dict[str, Any]) -> RandomForestClassifier:
+    """Rebuild a forest from :func:`forest_to_dict` output."""
+    if payload.get("kind") != "random_forest_classifier":
+        raise ValueError(f"not a serialised forest: kind={payload.get('kind')!r}")
+    forest = RandomForestClassifier(n_estimators=max(1, len(payload["trees"])))
+    forest.n_classes_ = int(payload["n_classes"])
+    forest.n_features_ = int(payload["n_features"])
+    forest.trees_ = [tree_from_dict(t) for t in payload["trees"]]
+    return forest
+
+
+def dumps(payload: dict[str, Any]) -> str:
+    """JSON-encode a serialised model."""
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def loads(text: str) -> dict[str, Any]:
+    """Decode a JSON-encoded serialised model."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("serialised model must be a JSON object")
+    return payload

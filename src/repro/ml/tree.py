@@ -1,0 +1,508 @@
+"""CART decision trees (classification and regression), from scratch.
+
+The paper's price model is a Random Forest whose member trees are CART
+trees over mixed (ordinally encoded) auction features; the model that
+ships to YourAdValue clients is a single decision tree.  scikit-learn is
+not available in the reproduction environment, so this is a complete
+numpy implementation: exhaustive threshold search per feature using
+cumulative class counts, Gini or entropy impurity, optional feature
+subsampling per split (the Random Forest hook), and JSON-serialisable
+node structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+_EPS = 1e-12
+
+
+@dataclass
+class TreeNode:
+    """A node of a fitted tree.
+
+    Leaves carry a ``value`` (class-count vector for classifiers, mean
+    target for regressors); internal nodes carry a ``feature`` index and
+    ``threshold`` -- samples with ``x[feature] <= threshold`` go left.
+    """
+
+    value: np.ndarray | float
+    n_samples: int
+    impurity: float
+    feature: int | None = None
+    threshold: float | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (leaf = 0)."""
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the subtree rooted here."""
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return self.left.n_leaves() + self.right.n_leaves()
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini impurity of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    p = p[p > 0]
+    return float(-np.sum(p * np.log(p)))
+
+
+def _variance(y: np.ndarray) -> float:
+    """Population variance (regression impurity)."""
+    if y.size == 0:
+        return 0.0
+    return float(y.var())
+
+
+class _SplitSearch:
+    """Vectorised best-split search shared by classifier and regressor."""
+
+    @staticmethod
+    def best_classification_split(
+        x_col: np.ndarray, y: np.ndarray, n_classes: int, criterion: str
+    ) -> tuple[float, float] | None:
+        """Best (threshold, impurity_decrease_proxy) for one feature.
+
+        Returns ``None`` when the column is constant.  The returned score
+        is the weighted child impurity (lower is better).
+        """
+        order = np.argsort(x_col, kind="mergesort")
+        xs = x_col[order]
+        ys = y[order]
+        n = xs.size
+        # One-hot cumulative class counts: counts of each class among the
+        # first k samples in sorted order.
+        onehot = np.zeros((n, n_classes), dtype=float)
+        onehot[np.arange(n), ys] = 1.0
+        left_counts = np.cumsum(onehot, axis=0)
+        total = left_counts[-1]
+
+        # Candidate split positions: between distinct consecutive values.
+        distinct = np.nonzero(np.diff(xs) > _EPS)[0]
+        if distinct.size == 0:
+            return None
+
+        lc = left_counts[distinct]            # counts left of each candidate
+        rc = total[None, :] - lc
+        nl = lc.sum(axis=1)
+        nr = rc.sum(axis=1)
+
+        if criterion == "gini":
+            pl = lc / np.maximum(nl[:, None], _EPS)
+            pr = rc / np.maximum(nr[:, None], _EPS)
+            il = 1.0 - np.sum(pl * pl, axis=1)
+            ir = 1.0 - np.sum(pr * pr, axis=1)
+        elif criterion == "entropy":
+            pl = lc / np.maximum(nl[:, None], _EPS)
+            pr = rc / np.maximum(nr[:, None], _EPS)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                il = -np.sum(np.where(pl > 0, pl * np.log(pl), 0.0), axis=1)
+                ir = -np.sum(np.where(pr > 0, pr * np.log(pr), 0.0), axis=1)
+        else:
+            raise ValueError(f"unknown criterion {criterion!r}")
+
+        weighted = (nl * il + nr * ir) / n
+        best = int(np.argmin(weighted))
+        idx = distinct[best]
+        threshold = (xs[idx] + xs[idx + 1]) / 2.0
+        return float(threshold), float(weighted[best])
+
+    @staticmethod
+    def best_regression_split(x_col: np.ndarray, y: np.ndarray) -> tuple[float, float] | None:
+        """Best (threshold, weighted child variance) for one feature."""
+        order = np.argsort(x_col, kind="mergesort")
+        xs = x_col[order]
+        ys = y[order]
+        n = xs.size
+        distinct = np.nonzero(np.diff(xs) > _EPS)[0]
+        if distinct.size == 0:
+            return None
+
+        csum = np.cumsum(ys)
+        csum2 = np.cumsum(ys * ys)
+        nl = (distinct + 1).astype(float)
+        nr = n - nl
+        sum_l = csum[distinct]
+        sum_r = csum[-1] - sum_l
+        sum2_l = csum2[distinct]
+        sum2_r = csum2[-1] - sum2_l
+        var_l = np.maximum(sum2_l / nl - (sum_l / nl) ** 2, 0.0)
+        var_r = np.maximum(sum2_r / nr - (sum_r / nr) ** 2, 0.0)
+        weighted = (nl * var_l + nr * var_r) / n
+        best = int(np.argmin(weighted))
+        idx = distinct[best]
+        threshold = (xs[idx] + xs[idx + 1]) / 2.0
+        return float(threshold), float(weighted[best])
+
+
+@dataclass
+class _GrowthParams:
+    max_depth: int | None
+    min_samples_split: int
+    min_samples_leaf: int
+    min_impurity_decrease: float
+    max_features: int | None
+    rng: np.random.Generator | None
+
+
+class DecisionTreeClassifier:
+    """CART classifier.
+
+    Parameters mirror the scikit-learn names so readers can orient
+    themselves; ``max_features``/``rng`` enable the per-split feature
+    subsampling used by :class:`repro.ml.forest.RandomForestClassifier`.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        criterion: str = "gini",
+        max_features: int | str | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if criterion not in ("gini", "entropy"):
+            raise ValueError(f"unknown criterion {criterion!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, int(min_samples_split))
+        self.min_samples_leaf = max(1, int(min_samples_leaf))
+        self.min_impurity_decrease = float(min_impurity_decrease)
+        self.criterion = criterion
+        self.max_features = max_features
+        self.rng = rng
+        self.root_: TreeNode | None = None
+        self.n_classes_: int = 0
+        self.n_features_: int = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            sample_indices: np.ndarray | None = None) -> "DecisionTreeClassifier":
+        """Fit on ``x`` (n_samples, n_features) and integer labels ``y``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y row counts differ")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        if np.any(y < 0):
+            raise ValueError("labels must be non-negative integers")
+
+        if sample_indices is not None:
+            x = x[sample_indices]
+            y = y[sample_indices]
+
+        self.n_features_ = x.shape[1]
+        self.n_classes_ = int(y.max()) + 1
+        self._importance_acc = np.zeros(self.n_features_)
+        params = self._growth_params()
+        self.root_ = self._grow(x, y, depth=0, params=params)
+        total = self._importance_acc.sum()
+        self.feature_importances_ = (
+            self._importance_acc / total if total > 0 else self._importance_acc
+        )
+        del self._importance_acc
+        return self
+
+    def _growth_params(self) -> _GrowthParams:
+        max_features: int | None
+        if self.max_features is None:
+            max_features = None
+        elif self.max_features == "sqrt":
+            max_features = max(1, int(np.sqrt(self.n_features_)))
+        elif isinstance(self.max_features, int):
+            max_features = max(1, min(self.max_features, self.n_features_))
+        else:
+            raise ValueError(f"bad max_features {self.max_features!r}")
+        rng = self.rng
+        if max_features is not None and rng is None:
+            rng = np.random.default_rng(0)
+        return _GrowthParams(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            min_impurity_decrease=self.min_impurity_decrease,
+            max_features=max_features,
+            rng=rng,
+        )
+
+    def _impurity(self, counts: np.ndarray) -> float:
+        return _gini(counts) if self.criterion == "gini" else _entropy(counts)
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int,
+              params: _GrowthParams) -> TreeNode:
+        counts = np.bincount(y, minlength=self.n_classes_).astype(float)
+        impurity = self._impurity(counts)
+        node = TreeNode(value=counts, n_samples=y.size, impurity=impurity)
+
+        if (
+            impurity <= _EPS
+            or y.size < params.min_samples_split
+            or (params.max_depth is not None and depth >= params.max_depth)
+        ):
+            return node
+
+        feature_ids = np.arange(self.n_features_)
+        if params.max_features is not None and params.max_features < self.n_features_:
+            assert params.rng is not None
+            feature_ids = params.rng.choice(
+                self.n_features_, size=params.max_features, replace=False
+            )
+
+        best_feature = -1
+        best_threshold = 0.0
+        best_score = np.inf
+        for j in feature_ids:
+            found = _SplitSearch.best_classification_split(
+                x[:, j], y, self.n_classes_, self.criterion
+            )
+            if found is None:
+                continue
+            threshold, score = found
+            if score < best_score - _EPS:
+                best_feature, best_threshold, best_score = int(j), threshold, score
+
+        if best_feature < 0:
+            return node
+
+        mask = x[:, best_feature] <= best_threshold
+        n_left = int(mask.sum())
+        n_right = y.size - n_left
+        if n_left < params.min_samples_leaf or n_right < params.min_samples_leaf:
+            return node
+
+        decrease = impurity - best_score
+        if decrease < params.min_impurity_decrease:
+            return node
+
+        self._importance_acc[best_feature] += y.size * decrease
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1, params)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1, params)
+        return node
+
+    # -- prediction --------------------------------------------------------
+
+    def _check_fitted(self) -> TreeNode:
+        if self.root_ is None:
+            raise RuntimeError("tree is not fitted")
+        return self.root_
+
+    def _leaf_for(self, row: np.ndarray) -> TreeNode:
+        node = self._check_fitted()
+        while not node.is_leaf:
+            assert node.feature is not None and node.threshold is not None
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-frequency probabilities of the reached leaf, per row.
+
+        Rows are routed through the tree in batches (an index-partition
+        walk) rather than one at a time, which keeps prediction fast for
+        the cross-validation protocol's repeated scoring.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        root = self._check_fitted()
+        out = np.empty((x.shape[0], self.n_classes_), dtype=float)
+        stack: list[tuple[TreeNode, np.ndarray]] = [
+            (root, np.arange(x.shape[0]))
+        ]
+        while stack:
+            node, indices = stack.pop()
+            if indices.size == 0:
+                continue
+            if node.is_leaf:
+                counts = node.value
+                assert isinstance(counts, np.ndarray)
+                total = counts.sum()
+                probs = counts / total if total > 0 else np.full(
+                    self.n_classes_, 1.0 / self.n_classes_
+                )
+                out[indices] = probs
+                continue
+            assert node.feature is not None and node.threshold is not None
+            assert node.left is not None and node.right is not None
+            mask = x[indices, node.feature] <= node.threshold
+            stack.append((node.left, indices[mask]))
+            stack.append((node.right, indices[~mask]))
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    # -- introspection -----------------------------------------------------
+
+    def depth(self) -> int:
+        return self._check_fitted().depth()
+
+    def n_leaves(self) -> int:
+        return self._check_fitted().n_leaves()
+
+    def decision_path(self, row: np.ndarray) -> list[tuple[int, float, bool]]:
+        """The (feature, threshold, went_left) sequence for one sample.
+
+        YourAdValue surfaces this to explain a price estimate to the user.
+        """
+        node = self._check_fitted()
+        path: list[tuple[int, float, bool]] = []
+        row = np.asarray(row, dtype=float)
+        while not node.is_leaf:
+            assert node.feature is not None and node.threshold is not None
+            left = bool(row[node.feature] <= node.threshold)
+            path.append((node.feature, node.threshold, left))
+            node = node.left if left else node.right
+            assert node is not None
+        return path
+
+
+class DecisionTreeRegressor:
+    """CART regressor (variance reduction splits).
+
+    Used by the regression baseline the paper tried first and rejected
+    for the high-variance charge prices.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, int(min_samples_split))
+        self.min_samples_leaf = max(1, int(min_samples_leaf))
+        self.max_features = max_features
+        self.rng = rng
+        self.root_: TreeNode | None = None
+        self.n_features_: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("bad shapes for x/y")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        self.n_features_ = x.shape[1]
+        max_features: int | None
+        if self.max_features is None:
+            max_features = None
+        elif self.max_features == "sqrt":
+            max_features = max(1, int(np.sqrt(self.n_features_)))
+        else:
+            max_features = max(1, min(int(self.max_features), self.n_features_))
+        rng = self.rng
+        if max_features is not None and rng is None:
+            rng = np.random.default_rng(0)
+        params = _GrowthParams(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            min_impurity_decrease=0.0,
+            max_features=max_features,
+            rng=rng,
+        )
+        self.root_ = self._grow(x, y, 0, params)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int,
+              params: _GrowthParams) -> TreeNode:
+        impurity = _variance(y)
+        node = TreeNode(value=float(y.mean()), n_samples=y.size, impurity=impurity)
+        if (
+            impurity <= _EPS
+            or y.size < params.min_samples_split
+            or (params.max_depth is not None and depth >= params.max_depth)
+        ):
+            return node
+
+        feature_ids = np.arange(self.n_features_)
+        if params.max_features is not None and params.max_features < self.n_features_:
+            assert params.rng is not None
+            feature_ids = params.rng.choice(
+                self.n_features_, size=params.max_features, replace=False
+            )
+
+        best_feature = -1
+        best_threshold = 0.0
+        best_score = np.inf
+        for j in feature_ids:
+            found = _SplitSearch.best_regression_split(x[:, j], y)
+            if found is None:
+                continue
+            threshold, score = found
+            if score < best_score - _EPS:
+                best_feature, best_threshold, best_score = int(j), threshold, score
+
+        if best_feature < 0 or best_score >= impurity - _EPS:
+            return node
+
+        mask = x[:, best_feature] <= best_threshold
+        if mask.sum() < params.min_samples_leaf or (~mask).sum() < params.min_samples_leaf:
+            return node
+
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1, params)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1, params)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.root_ is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        out = np.empty(x.shape[0], dtype=float)
+        stack: list[tuple[TreeNode, np.ndarray]] = [
+            (self.root_, np.arange(x.shape[0]))
+        ]
+        while stack:
+            node, indices = stack.pop()
+            if indices.size == 0:
+                continue
+            if node.is_leaf:
+                assert isinstance(node.value, float)
+                out[indices] = node.value
+                continue
+            assert node.feature is not None and node.threshold is not None
+            assert node.left is not None and node.right is not None
+            mask = x[indices, node.feature] <= node.threshold
+            stack.append((node.left, indices[mask]))
+            stack.append((node.right, indices[~mask]))
+        return out

@@ -1,0 +1,96 @@
+"""Ad-slot size catalog.
+
+Exchanges quote auctioned slots by pixel dimensions.  The paper's
+Figures 12-14 study the slot sizes below; the industry nicknames
+("MPU", "leaderboard", ...) follow the paper's section 4.4.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class AdSlotSize:
+    """A ``width x height`` ad-slot size in CSS pixels."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"non-positive slot dimensions {self.width}x{self.height}")
+
+    @property
+    def area(self) -> int:
+        """Pixel area -- the paper sorts its slot figures by this."""
+        return self.width * self.height
+
+    @property
+    def label(self) -> str:
+        """Canonical ``WxH`` label, e.g. ``'300x250'``."""
+        return f"{self.width}x{self.height}"
+
+    @property
+    def nickname(self) -> str | None:
+        """Industry nickname when one exists (paper section 4.4)."""
+        return NICKNAMES.get(self.label)
+
+    @classmethod
+    def parse(cls, label: str) -> "AdSlotSize":
+        """Parse a ``WxH`` string (case-insensitive 'x')."""
+        match = re.fullmatch(r"(\d+)\s*[xX]\s*(\d+)", label.strip())
+        if match is None:
+            raise ValueError(f"not a slot size label: {label!r}")
+        return cls(width=int(match.group(1)), height=int(match.group(2)))
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: Nicknames used in the paper.
+NICKNAMES: dict[str, str] = {
+    "300x250": "MPU (Medium Rectangle)",
+    "300x600": "Monster MPU",
+    "728x90": "Leaderboard",
+    "320x50": "Large Mobile Banner",
+    "468x60": "Full Banner",
+    "120x600": "Skyscraper",
+    "160x600": "Wide Skyscraper",
+    "320x480": "Mobile Interstitial (portrait)",
+    "480x320": "Mobile Interstitial (landscape)",
+    "768x1024": "Tablet Interstitial (portrait)",
+    "1024x768": "Tablet Interstitial (landscape)",
+}
+
+#: All sizes appearing in the paper's Figure 12 legend (plus tablet
+#: interstitials from Table 5), as labels.
+FIGURE12_SIZES: tuple[str, ...] = (
+    "300x50", "320x50", "468x60", "200x200", "316x150", "728x90",
+    "280x250", "120x600", "300x250", "336x280", "160x600", "800x130",
+    "400x300", "320x480", "480x320", "300x600", "350x600",
+)
+
+#: The subset carried by the Turn-style exchange in Figures 13-14.
+TURN_SIZES: tuple[str, ...] = (
+    "320x50", "468x60", "728x90", "120x600", "300x250", "160x600", "300x600",
+)
+
+#: Smartphone formats offered in the probe campaigns (Table 5).
+CAMPAIGN_PHONE_SIZES: tuple[str, ...] = ("320x50", "300x250", "320x480")
+
+#: Tablet formats offered in the probe campaigns (Table 5).
+CAMPAIGN_TABLET_SIZES: tuple[str, ...] = ("728x90", "300x250", "768x1024")
+
+
+def catalog() -> list[AdSlotSize]:
+    """All known slot sizes, sorted by area then width."""
+    labels = set(FIGURE12_SIZES) | set(CAMPAIGN_TABLET_SIZES) | set(NICKNAMES)
+    sizes = [AdSlotSize.parse(lbl) for lbl in labels]
+    return sorted(sizes, key=lambda s: (s.area, s.width))
+
+
+def sort_by_area(labels: list[str] | tuple[str, ...]) -> list[str]:
+    """Sort slot labels by pixel area (the paper's figure ordering)."""
+    return sorted(labels, key=lambda lbl: AdSlotSize.parse(lbl).area)

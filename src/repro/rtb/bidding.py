@@ -1,0 +1,202 @@
+"""DSP bid decision engines.
+
+A DSP's decision engine answers the question the paper poses in section
+2.1: "How much is it worth to bid for an ad slot for this user, if
+any?".  Our engines decompose a bid into
+
+    bid = base_value(request features) * dsp_noise * campaign aggressiveness
+
+where ``base_value`` is a shared, feature-multiplicative valuation of
+the impression (configured by :mod:`repro.trace.pricing` to encode the
+paper's observed price structure) and the noise term models the spread
+of independent bidder beliefs.  Second-price clearing over several such
+bidders yields charge prices that inherit the feature structure --
+which is precisely why the paper's Random Forest can learn them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.rtb.campaign import Campaign
+from repro.rtb.openrtb import Bid, BidRequest, BidResponse
+
+#: A valuation function: request -> fair CPM value of the impression.
+ValueModel = Callable[[BidRequest], float]
+
+
+class BidEngine(Protocol):
+    """Strategy interface: price a campaign's bid for one request."""
+
+    def price_bid(self, request: BidRequest, campaign: Campaign,
+                  rng: np.random.Generator) -> float | None:
+        """CPM bid, or None to no-bid."""
+
+
+@dataclass
+class FeatureBidEngine:
+    """Value-based bidding with lognormal belief noise.
+
+    ``noise_sigma`` is the std of the bidder's log-valuation error;
+    ``aggressiveness`` scales bids up/down (retargeting-style campaigns
+    would use > 1).  ``participation`` is the probability the DSP bids
+    at all on an eligible request (models bid throttling / pacing).
+    """
+
+    value_model: ValueModel
+    noise_sigma: float = 0.35
+    aggressiveness: float = 1.0
+    participation: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma < 0:
+            raise ValueError(f"negative noise_sigma {self.noise_sigma}")
+        if self.aggressiveness <= 0:
+            raise ValueError(f"aggressiveness must be positive")
+        if not 0.0 <= self.participation <= 1.0:
+            raise ValueError(f"participation must be in [0,1]")
+
+    def price_bid(self, request: BidRequest, campaign: Campaign,
+                  rng: np.random.Generator) -> float | None:
+        if self.participation < 1.0 and rng.random() > self.participation:
+            return None
+        value = self.value_model(request)
+        if value <= 0:
+            return None
+        noise = float(np.exp(rng.normal(0.0, self.noise_sigma))) if self.noise_sigma else 1.0
+        bid = value * noise * self.aggressiveness
+        # The bid cap protects the budget (paper section 5.3) -- bids are
+        # clipped, not dropped, so capped campaigns still compete.
+        return min(bid, campaign.max_bid_cpm)
+
+
+@dataclass
+class FixedBidEngine:
+    """Bid a constant CPM on every eligible request (test harness aid)."""
+
+    bid_cpm: float
+
+    def __post_init__(self) -> None:
+        if self.bid_cpm <= 0:
+            raise ValueError("bid_cpm must be positive")
+
+    def price_bid(self, request: BidRequest, campaign: Campaign,
+                  rng: np.random.Generator) -> float | None:
+        return min(self.bid_cpm, campaign.max_bid_cpm)
+
+
+@dataclass
+class RetargetingEngine:
+    """Audience-retargeting bidding (the paper's deferred future work).
+
+    The paper's probe campaigns deliberately avoided retargeting
+    ("studying the effects of retargeting is beyond the scope of this
+    paper ... we plan to investigate [it] in a separate study"), while
+    hypothesising that aggressive retargeting is one driver of the
+    encrypted-price premium.  This engine implements the mechanism so
+    the ablation benches can study it: the DSP bids only on users in
+    its retargeting audience (recognised through cookie-synced ids) and
+    values them at a multiple of the common valuation.
+
+    ``audience_uids`` live in the DSP's own id space
+    (:func:`repro.rtb.cookiesync.synced_uid` of ``dsp_name``); a user
+    is reachable only when a cookie sync has put the DSP's uid into the
+    bid request -- exactly the dependency real retargeting has on sync.
+    """
+
+    dsp_name: str
+    value_model: ValueModel
+    audience_uids: frozenset[str]
+    boost: float = 2.0
+    noise_sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.boost <= 0:
+            raise ValueError("boost must be positive")
+        if self.noise_sigma < 0:
+            raise ValueError("negative noise_sigma")
+
+    def in_audience(self, request: BidRequest) -> bool:
+        uid = request.user.buyer_uids.get(self.dsp_name)
+        return uid is not None and uid in self.audience_uids
+
+    def price_bid(self, request: BidRequest, campaign: Campaign,
+                  rng: np.random.Generator) -> float | None:
+        if not self.in_audience(request):
+            return None
+        value = self.value_model(request)
+        if value <= 0:
+            return None
+        noise = float(np.exp(rng.normal(0.0, self.noise_sigma))) if self.noise_sigma else 1.0
+        return min(value * noise * self.boost, campaign.max_bid_cpm)
+
+
+class Dsp:
+    """A demand-side platform: a bidder holding campaigns and an engine.
+
+    The DSP receives bid requests from exchanges, finds eligible
+    campaigns, prices a bid for the best one and responds.  Wins are
+    reported back via :meth:`notify_win` so budgets stay accounted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: BidEngine,
+        rng: np.random.Generator,
+        campaigns: list[Campaign] | None = None,
+    ):
+        if not name:
+            raise ValueError("DSP name must be non-empty")
+        self.name = name
+        self.engine = engine
+        self.rng = rng
+        self.campaigns: list[Campaign] = list(campaigns or [])
+        self.wins = 0
+        self.total_spend_usd = 0.0
+
+    def add_campaign(self, campaign: Campaign) -> None:
+        self.campaigns.append(campaign)
+
+    def respond(self, request: BidRequest) -> BidResponse:
+        """Answer a bid request with at most one bid (the best campaign)."""
+        best_bid: Bid | None = None
+        for campaign in self.campaigns:
+            if not campaign.eligible_for(request):
+                continue
+            price = self.engine.price_bid(request, campaign, self.rng)
+            if price is None or price <= 0:
+                continue
+            if best_bid is None or price > best_bid.price_cpm:
+                best_bid = Bid(
+                    dsp=self.name,
+                    advertiser=campaign.advertiser,
+                    campaign_id=campaign.campaign_id,
+                    price_cpm=price,
+                    creative_domain=f"ads.{campaign.advertiser.lower()}.com",
+                )
+        bids = (best_bid,) if best_bid is not None else ()
+        return BidResponse(auction_id=request.auction_id, dsp=self.name, bids=bids)
+
+    def notify_win(
+        self,
+        campaign_id: str,
+        charge_price_cpm: float,
+        request: BidRequest | None = None,
+    ) -> None:
+        """Book a win against the campaign's budget.
+
+        ``request`` carries the auction context; the base DSP ignores it,
+        but recording DSPs (probe campaigns) log it as the per-impression
+        performance report advertisers receive.
+        """
+        for campaign in self.campaigns:
+            if campaign.campaign_id == campaign_id:
+                campaign.record_win(charge_price_cpm)
+                self.wins += 1
+                self.total_spend_usd += charge_price_cpm / 1000.0
+                return
+        raise KeyError(f"DSP {self.name} has no campaign {campaign_id!r}")

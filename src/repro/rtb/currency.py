@@ -1,0 +1,87 @@
+"""Currency normalisation for charge prices.
+
+The paper assumes every observed charge price is USD (footnote 4:
+"Given that the majority of ADXs are located in US ... we assume every
+charge price to be in US Dollars").  Real nURLs carry a ``currency``
+parameter (see Table 1's MoPub example), so a careful analyzer can do
+better: convert each price into USD with a rate table before tallying.
+This module provides that conversion with a bundled 2015-2016 era rate
+snapshot; deployments would refresh the table from a rates feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: USD per unit of currency, mid-2015 snapshot (ECB reference rates).
+DEFAULT_RATES_TO_USD: dict[str, float] = {
+    "USD": 1.0,
+    "EUR": 1.10,
+    "GBP": 1.53,
+    "JPY": 0.0081,
+    "CHF": 1.05,
+    "SEK": 0.118,
+    "AUD": 0.75,
+    "CAD": 0.78,
+}
+
+
+class CurrencyError(ValueError):
+    """Raised for unknown currencies or invalid rates."""
+
+
+@dataclass
+class CurrencyConverter:
+    """Converts CPM prices between currencies via USD."""
+
+    rates_to_usd: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_RATES_TO_USD)
+    )
+    #: What to do with unknown currency codes: "raise" or "assume_usd"
+    #: (the paper's behaviour).
+    unknown_policy: str = "assume_usd"
+
+    def __post_init__(self) -> None:
+        if self.unknown_policy not in ("raise", "assume_usd"):
+            raise CurrencyError(f"bad unknown_policy {self.unknown_policy!r}")
+        for code, rate in self.rates_to_usd.items():
+            if rate <= 0:
+                raise CurrencyError(f"non-positive rate for {code}")
+
+    def supports(self, code: str) -> bool:
+        return code.upper() in self.rates_to_usd
+
+    def to_usd(self, amount: float, currency: str) -> float:
+        """Convert an amount from ``currency`` into USD."""
+        code = (currency or "USD").upper()
+        rate = self.rates_to_usd.get(code)
+        if rate is None:
+            if self.unknown_policy == "assume_usd":
+                return amount
+            raise CurrencyError(f"unknown currency {currency!r}")
+        return amount * rate
+
+    def convert(self, amount: float, source: str, target: str) -> float:
+        """Convert between two known currencies via USD."""
+        usd = self.to_usd(amount, source)
+        code = (target or "USD").upper()
+        rate = self.rates_to_usd.get(code)
+        if rate is None:
+            raise CurrencyError(f"unknown target currency {target!r}")
+        return usd / rate
+
+    def set_rate(self, code: str, usd_per_unit: float) -> None:
+        """Install/refresh one rate (a rates-feed update)."""
+        if usd_per_unit <= 0:
+            raise CurrencyError(f"non-positive rate for {code}")
+        self.rates_to_usd[code.upper()] = usd_per_unit
+
+
+def normalize_price_usd(
+    price_cpm: float,
+    currency: str | None,
+    converter: CurrencyConverter | None = None,
+) -> float:
+    """The analyzer-side helper: one observed price -> USD CPM."""
+    converter = converter or CurrencyConverter()
+    return converter.to_usd(price_cpm, currency or "USD")

@@ -1,0 +1,232 @@
+"""OpenRTB 2.x JSON wire codec.
+
+The exchanges the paper studies speak OpenRTB over the wire (it cites
+the MoPub, OpenX and PulsePoint integration guides); our in-memory
+:mod:`repro.rtb.openrtb` objects map onto the spec's JSON layout:
+
+* ``BidRequest``  -> ``{id, imp:[...], app|site, device, user, tmax}``
+* ``BidResponse`` -> ``{id, seatbid:[{seat, bid:[...]}]}``
+
+Prices travel as CPM floats in ``bidfloor``/``price`` per the spec.
+The codec is strict on the fields this system relies on (auction id,
+impression, price) and tolerant of extra fields, mirroring how real
+bidders integrate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.rtb.adslots import AdSlotSize
+from repro.rtb.iab import InterestProfile
+from repro.rtb.openrtb import (
+    Bid,
+    BidRequest,
+    BidResponse,
+    Device,
+    Geo,
+    Impression,
+    UserInfo,
+)
+
+
+class OpenRtbError(ValueError):
+    """Raised on malformed OpenRTB payloads."""
+
+
+_DEVICE_TYPE_CODES = {"smartphone": 4, "tablet": 5, "pc": 2}
+_DEVICE_TYPE_NAMES = {v: k for k, v in _DEVICE_TYPE_CODES.items()}
+
+
+def bid_request_to_dict(request: BidRequest) -> dict[str, Any]:
+    """Encode a bid request as an OpenRTB 2.x JSON-compatible dict."""
+    imp = {
+        "id": request.imp.impression_id,
+        "banner": {
+            "w": request.imp.slot_size.width,
+            "h": request.imp.slot_size.height,
+        },
+        "bidfloor": request.imp.bidfloor_cpm,
+        "instl": int(request.imp.interstitial),
+    }
+    inventory_key = "app" if request.is_app else "site"
+    inventory = {
+        "id": request.publisher,
+        "domain": request.publisher,
+        "cat": [request.publisher_iab],
+        "publisher": {"id": request.publisher},
+    }
+    payload: dict[str, Any] = {
+        "id": request.auction_id,
+        "at": 2,  # second-price auction
+        "tmax": request.tmax_ms,
+        "imp": [imp],
+        inventory_key: inventory,
+        "device": {
+            "ua": request.device.user_agent,
+            "ip": request.device.ip,
+            "os": request.device.os,
+            "devicetype": _DEVICE_TYPE_CODES.get(request.device.device_type, 1),
+            "geo": {
+                "country": request.geo.country,
+                "city": request.geo.city,
+            },
+        },
+        "user": {
+            "id": request.user.exchange_uid,
+            "buyeruid": dict(request.user.buyer_uids),
+            "keywords": ",".join(code for code, _ in request.user.interests.weights),
+        },
+        "ext": {"adx": request.adx, "ts": request.timestamp},
+    }
+    return payload
+
+
+def bid_request_from_dict(payload: dict[str, Any]) -> BidRequest:
+    """Decode an OpenRTB 2.x bid request dict."""
+    try:
+        auction_id = payload["id"]
+        imp_payload = payload["imp"][0]
+        banner = imp_payload["banner"]
+        slot = AdSlotSize(width=int(banner["w"]), height=int(banner["h"]))
+    except (KeyError, IndexError, TypeError) as exc:
+        raise OpenRtbError(f"malformed bid request: {exc!r}") from exc
+
+    is_app = "app" in payload
+    inventory = payload.get("app") or payload.get("site") or {}
+    categories = inventory.get("cat") or ["IAB24"]
+    device_payload = payload.get("device", {})
+    geo_payload = device_payload.get("geo", {})
+    user_payload = payload.get("user", {})
+    ext = payload.get("ext", {})
+
+    keywords = [
+        k for k in (user_payload.get("keywords") or "").split(",") if k
+    ]
+    interests = InterestProfile.from_counts({k: 1.0 for k in keywords})
+
+    return BidRequest(
+        auction_id=str(auction_id),
+        timestamp=float(ext.get("ts", 0.0)),
+        imp=Impression(
+            impression_id=str(imp_payload.get("id", f"{auction_id}-1")),
+            slot_size=slot,
+            bidfloor_cpm=float(imp_payload.get("bidfloor", 0.0)),
+            interstitial=bool(imp_payload.get("instl", 0)),
+        ),
+        publisher=str(inventory.get("domain", "")),
+        publisher_iab=str(categories[0]),
+        device=Device(
+            os=str(device_payload.get("os", "Other")),
+            device_type=_DEVICE_TYPE_NAMES.get(
+                int(device_payload.get("devicetype", 1)), "unknown"
+            ),
+            user_agent=str(device_payload.get("ua", "")),
+            ip=str(device_payload.get("ip", "")),
+        ),
+        geo=Geo(
+            country=str(geo_payload.get("country", "")),
+            city=str(geo_payload.get("city", "")),
+        ),
+        user=UserInfo(
+            exchange_uid=str(user_payload.get("id", "")),
+            buyer_uids={
+                str(k): str(v)
+                for k, v in (user_payload.get("buyeruid") or {}).items()
+            },
+            interests=interests,
+        ),
+        is_app=is_app,
+        adx=str(ext.get("adx", "")),
+        tmax_ms=int(payload.get("tmax", 100)),
+    )
+
+
+def bid_response_to_dict(response: BidResponse) -> dict[str, Any]:
+    """Encode a bid response; an empty response uses nbr (no-bid reason)."""
+    if response.is_no_bid:
+        return {"id": response.auction_id, "seatbid": [], "nbr": 2}
+    return {
+        "id": response.auction_id,
+        "seatbid": [
+            {
+                "seat": response.dsp,
+                "bid": [
+                    {
+                        "id": f"{response.auction_id}-{i}",
+                        "impid": f"{response.auction_id}-1",
+                        "price": bid.price_cpm,
+                        "adomain": [bid.creative_domain],
+                        "cid": bid.campaign_id,
+                        "ext": {"advertiser": bid.advertiser},
+                    }
+                    for i, bid in enumerate(response.bids)
+                ],
+            }
+        ],
+    }
+
+
+def bid_response_from_dict(payload: dict[str, Any], dsp: str | None = None) -> BidResponse:
+    """Decode an OpenRTB 2.x bid response dict."""
+    try:
+        auction_id = str(payload["id"])
+    except KeyError as exc:
+        raise OpenRtbError("bid response missing id") from exc
+    seatbids = payload.get("seatbid") or []
+    if not seatbids:
+        return BidResponse(auction_id=auction_id, dsp=dsp or "", bids=())
+    seat = seatbids[0]
+    seat_name = str(seat.get("seat", dsp or ""))
+    bids = []
+    for bid_payload in seat.get("bid", []):
+        try:
+            price = float(bid_payload["price"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise OpenRtbError(f"malformed bid: {bid_payload!r}") from exc
+        adomain = bid_payload.get("adomain") or [""]
+        bids.append(
+            Bid(
+                dsp=seat_name,
+                advertiser=str(
+                    bid_payload.get("ext", {}).get("advertiser", adomain[0])
+                ),
+                campaign_id=str(bid_payload.get("cid", "")),
+                price_cpm=price,
+                creative_domain=str(adomain[0]),
+            )
+        )
+    return BidResponse(auction_id=auction_id, dsp=seat_name, bids=tuple(bids))
+
+
+def dumps_request(request: BidRequest) -> str:
+    """JSON-encode a bid request."""
+    return json.dumps(bid_request_to_dict(request), separators=(",", ":"))
+
+
+def loads_request(text: str) -> BidRequest:
+    """Decode a JSON bid request string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise OpenRtbError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise OpenRtbError("bid request must be a JSON object")
+    return bid_request_from_dict(payload)
+
+
+def dumps_response(response: BidResponse) -> str:
+    """JSON-encode a bid response."""
+    return json.dumps(bid_response_to_dict(response), separators=(",", ":"))
+
+
+def loads_response(text: str, dsp: str | None = None) -> BidResponse:
+    """Decode a JSON bid response string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise OpenRtbError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise OpenRtbError("bid response must be a JSON object")
+    return bid_response_from_dict(payload, dsp=dsp)

@@ -1,0 +1,92 @@
+"""Tests for the streaming analyzer (online semantics)."""
+
+import pytest
+
+from repro.analyzer.interests import PublisherDirectory
+from repro.analyzer.pipeline import WeblogAnalyzer
+from repro.analyzer.stream import StreamingAnalyzer
+from repro.trace.simulate import simulate_dataset, small_config
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return simulate_dataset(small_config(seed=42))
+
+
+@pytest.fixture(scope="module")
+def directory(dataset):
+    return PublisherDirectory.from_universe(dataset.universe)
+
+
+@pytest.fixture(scope="module")
+def streamed(dataset, directory):
+    analyzer = StreamingAnalyzer(directory)
+    observations = list(analyzer.process_many(dataset.rows))
+    return analyzer, observations
+
+
+class TestStreamingEquivalence:
+    def test_same_observation_count_as_batch(self, dataset, directory, streamed):
+        _, observations = streamed
+        batch = WeblogAnalyzer(directory).analyze(dataset.rows)
+        assert len(observations) == len(batch.observations)
+
+    def test_same_prices_as_batch(self, dataset, directory, streamed):
+        _, observations = streamed
+        batch = WeblogAnalyzer(directory).analyze(dataset.rows)
+        stream_prices = sorted(
+            o.price_cpm for o in observations if o.price_cpm is not None
+        )
+        batch_prices = sorted(
+            o.price_cpm for o in batch.observations if o.price_cpm is not None
+        )
+        assert stream_prices == pytest.approx(batch_prices)
+
+    def test_traffic_counts_match_batch(self, dataset, directory, streamed):
+        analyzer, _ = streamed
+        batch = WeblogAnalyzer(directory).analyze(dataset.rows)
+        assert analyzer.traffic_counts == batch.traffic_counts
+
+    def test_snapshot_supports_aggregations(self, streamed):
+        analyzer, observations = streamed
+        result = analyzer.snapshot_result()
+        assert len(result.cleartext()) + len(result.encrypted()) == len(observations)
+        shares = result.entity_rtb_shares()
+        assert max(shares, key=shares.get) == "MoPub"
+
+
+class TestOnlineSemantics:
+    def test_observation_emitted_immediately(self, dataset, directory):
+        analyzer = StreamingAnalyzer(directory)
+        emitted = None
+        consumed = 0
+        for row in dataset.rows:
+            consumed += 1
+            emitted = analyzer.process(row)
+            if emitted is not None:
+                break
+        assert emitted is not None
+        # The first nURL produced an observation before the rest of the
+        # trace was seen.
+        assert consumed < len(dataset.rows)
+
+    def test_user_state_accumulates_monotonically(self, dataset, directory):
+        analyzer = StreamingAnalyzer(directory)
+        user = dataset.rows[0].user_id
+        counts = []
+        for row in dataset.rows[:3000]:
+            analyzer.process(row)
+            counts.append(analyzer.user_state(user).n_requests)
+        assert counts == sorted(counts)
+
+    def test_memory_bounded_by_users_and_prices(self, dataset, directory, streamed):
+        analyzer, observations = streamed
+        assert analyzer.memory_cardinality <= len(dataset.users) + len(observations)
+        assert analyzer.rows_seen == len(dataset.rows)
+
+    def test_interests_available_online(self, dataset, directory, streamed):
+        analyzer, _ = streamed
+        with_interests = [
+            s for s in analyzer.users.values() if s.dominant_interest is not None
+        ]
+        assert len(with_interests) > 0.8 * len(analyzer.users)

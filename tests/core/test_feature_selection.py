@@ -1,0 +1,122 @@
+"""Tests for the grouped dimensionality-reduction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_selection import (
+    GROUP_AD,
+    GROUP_DEVICE,
+    GROUP_TIME,
+    GROUP_USER_INTERESTS,
+    GROUP_USER_LOCATION,
+    DimensionalityReducer,
+    group_of,
+)
+
+
+class TestGroupMapping:
+    def test_exact_names(self):
+        assert group_of("time_of_day") == GROUP_TIME
+        assert group_of("slot_size") == GROUP_AD
+        assert group_of("context") == GROUP_DEVICE
+        assert group_of("city") == GROUP_USER_LOCATION
+
+    def test_prefix_rules(self):
+        assert group_of("interest_IAB3") == GROUP_USER_INTERESTS
+        assert group_of("hour_05") == GROUP_TIME
+        assert group_of("dow_3") == GROUP_TIME
+
+
+def synthetic_observations(n=800, seed=0):
+    """Feature rows where price depends on a few known features."""
+    rng = np.random.default_rng(seed)
+    cities = ["Madrid", "Torello"]
+    slots = ["320x50", "300x250"]
+    rows = []
+    prices = []
+    for _ in range(n):
+        city = cities[rng.integers(0, 2)]
+        slot = slots[rng.integers(0, 2)]
+        context = "app" if rng.random() < 0.5 else "web"
+        tod = int(rng.integers(0, 6))
+        noise_a = float(rng.random())        # pure noise features
+        noise_b = float(rng.random())
+        constant = 1.0
+        price = 0.3
+        price *= 2.6 if context == "app" else 1.0
+        price *= 1.7 if slot == "300x250" else 1.0
+        price *= 0.9 if city == "Madrid" else 1.1
+        price *= 1.0 + 0.05 * tod
+        price *= float(np.exp(rng.normal(0, 0.1)))
+        rows.append(
+            {
+                "city": city,
+                "slot_size": slot,
+                "context": context,
+                "time_of_day": tod,
+                "noise_a": noise_a,
+                "noise_b": noise_b,
+                "constant_feature": constant,
+                "publisher": f"pub{rng.integers(0, 5)}",
+            }
+        )
+        prices.append(price)
+    return rows, prices
+
+
+class TestDimensionalityReducer:
+    @pytest.fixture(scope="class")
+    def report(self):
+        rows, prices = synthetic_observations()
+        reducer = DimensionalityReducer(
+            n_folds=3, n_estimators=10, max_depth=8, max_rows=800, seed=3
+        )
+        return reducer.fit(rows, prices)
+
+    def test_constant_feature_dropped(self, report):
+        assert "constant_feature" in report.dropped_constant_or_noise
+        assert "constant_feature" not in report.selected_features
+
+    def test_informative_features_selected(self, report):
+        selected = set(report.selected_features)
+        assert "context" in selected or "slot_size" in selected
+
+    def test_noise_features_rank_below_drivers(self, report):
+        imp = report.importances
+        assert imp["context"] > imp["noise_a"]
+        assert imp["slot_size"] > imp["noise_b"]
+
+    def test_publisher_excluded_by_default(self, report):
+        assert "publisher" not in report.selected_features
+
+    def test_selected_accuracy_close_to_baseline(self, report):
+        assert report.selected_accuracy >= report.baseline_accuracy - 0.05
+
+    def test_loss_metrics_consistent(self, report):
+        assert report.precision_loss == pytest.approx(
+            report.baseline_precision - report.selected_precision
+        )
+
+    def test_importances_cover_kept_features(self, report):
+        assert report.n_features_after_filters == len(report.importances)
+
+    def test_group_scores_present(self, report):
+        assert report.group_scores
+
+    def test_too_few_rows_rejected(self):
+        rows, prices = synthetic_observations(n=20)
+        with pytest.raises(ValueError):
+            DimensionalityReducer().fit(rows, prices)
+
+    def test_length_mismatch_rejected(self):
+        rows, prices = synthetic_observations(n=60)
+        with pytest.raises(ValueError):
+            DimensionalityReducer().fit(rows, prices[:-1])
+
+    def test_allow_publisher_keeps_candidate(self):
+        rows, prices = synthetic_observations(n=300, seed=5)
+        reducer = DimensionalityReducer(
+            n_folds=3, n_estimators=5, max_depth=6, allow_publisher=True, seed=1
+        )
+        report = reducer.fit(rows, prices)
+        assert "publisher" in report.importances

@@ -1,0 +1,106 @@
+"""Tests for the Price Modeling Engine lifecycle."""
+
+import pytest
+
+from repro.analyzer.interests import PublisherDirectory
+from repro.analyzer.pipeline import WeblogAnalyzer
+from repro.core.pme import (
+    PAPER_FEATURE_SET,
+    PriceModelingEngine,
+    mopub_cleartext_prices,
+)
+from repro.trace.simulate import build_market, simulate_dataset, small_config
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    dataset = simulate_dataset(small_config())
+    analyzer = WeblogAnalyzer(PublisherDirectory.from_universe(dataset.universe))
+    return analyzer.analyze(dataset.rows)
+
+
+@pytest.fixture(scope="module")
+def fitted_pme(analysis):
+    pme = PriceModelingEngine(seed=23)
+    pme.bootstrap(analysis, use_paper_features=True)
+    market = build_market(small_config(), RngRegistry(small_config().seed))
+    pme.run_probe_campaigns(market, auctions_per_setup=12)
+    pme.train_model(evaluate=False)
+    pme.compute_time_correction(mopub_cleartext_prices(analysis))
+    return pme
+
+
+class TestBootstrap:
+    def test_paper_features_shortcut(self, analysis):
+        pme = PriceModelingEngine(seed=1)
+        selected = pme.bootstrap(analysis, use_paper_features=True)
+        assert selected == list(PAPER_FEATURE_SET)
+
+    def test_real_reduction_runs(self, analysis):
+        from repro.core.feature_selection import DimensionalityReducer
+
+        pme = PriceModelingEngine(seed=2)
+        reducer = DimensionalityReducer(
+            n_folds=3, n_estimators=8, max_depth=8, max_rows=1200, seed=4
+        )
+        selected = pme.bootstrap(analysis, reducer=reducer)
+        assert len(selected) >= 3
+        assert pme.state.selection is not None
+        assert pme.state.selection.n_features_input > 50
+
+
+class TestLifecycleOrderEnforced:
+    def test_train_before_campaigns_raises(self):
+        with pytest.raises(RuntimeError):
+            PriceModelingEngine().train_model()
+
+    def test_time_correction_before_a2_raises(self):
+        with pytest.raises(RuntimeError):
+            PriceModelingEngine().compute_time_correction([1.0])
+
+    def test_package_before_training_raises(self):
+        with pytest.raises(RuntimeError):
+            PriceModelingEngine().package_model()
+
+    def test_retrain_without_campaign_raises(self):
+        with pytest.raises(RuntimeError):
+            PriceModelingEngine().retrain_with_contributions([], [])
+
+
+class TestFittedPme:
+    def test_campaign_results_stored(self, fitted_pme):
+        assert fitted_pme.state.campaign_a1 is not None
+        assert fitted_pme.state.campaign_a2 is not None
+        assert len(fitted_pme.state.campaign_a1.impressions) > 50
+
+    def test_time_correction_above_one(self, fitted_pme):
+        """Prices drift up 2015 -> 2016, so the correction exceeds 1."""
+        assert 1.0 < fitted_pme.state.time_correction < 2.0
+
+    def test_package_contents(self, fitted_pme):
+        package = fitted_pme.package_model()
+        assert package["kind"] == "yav_price_model"
+        assert package["time_correction"] == fitted_pme.state.time_correction
+        assert "publisher" not in package["feature_names"]
+        assert package["selected_features"] == list(PAPER_FEATURE_SET)
+
+    def test_retrain_with_contributions(self, fitted_pme):
+        rows = [
+            {
+                "adx": "MoPub",
+                "dsp": "Criteo-DSP",
+                "slot_size": "300x250",
+                "publisher_iab": "IAB12",
+                "time_of_day": 2,
+                "day_of_week": 1,
+            }
+        ] * 30
+        prices = [0.9] * 30
+        model = fitted_pme.retrain_with_contributions(rows, prices)
+        assert model is fitted_pme.state.model
+
+    def test_mopub_prices_helper(self, analysis):
+        prices = mopub_cleartext_prices(analysis)
+        assert prices
+        assert all(p > 0 for p in prices)

@@ -1,0 +1,113 @@
+"""Tests for the encrypted-price model and regression baseline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.campaigns import run_campaign_a1
+from repro.core.price_model import EncryptedPriceModel, regression_baseline
+from repro.trace.simulate import build_market, small_config
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    market = build_market(small_config(), RngRegistry(small_config().seed))
+    return run_campaign_a1(market, seed=13, auctions_per_setup=25)
+
+
+@pytest.fixture(scope="module")
+def model(campaign):
+    rows = campaign.feature_rows()
+    names = [k for k in rows[0] if k != "publisher"]
+    return EncryptedPriceModel.train(
+        rows, list(campaign.prices()), feature_names=names, seed=5,
+        n_estimators=30, max_depth=14,
+    )
+
+
+class TestTraining:
+    def test_trains_and_estimates(self, campaign, model):
+        rows = campaign.feature_rows()
+        estimates = model.estimate(rows[:50])
+        assert estimates.shape == (50,)
+        assert (estimates > 0).all()
+
+    def test_estimates_are_class_representatives(self, model, campaign):
+        rows = campaign.feature_rows()[:100]
+        estimates = model.estimate(rows)
+        assert set(np.round(estimates, 9)) <= set(
+            np.round(model.binner.representatives, 9)
+        )
+
+    def test_training_accuracy_high(self, campaign, model):
+        rows = campaign.feature_rows()
+        prices = campaign.prices()
+        y = model.binner.assign(prices)
+        pred = model.predict_class(rows)
+        assert (pred == y).mean() > 0.8
+
+    def test_estimate_correlates_with_truth(self, campaign, model):
+        rows = campaign.feature_rows()
+        prices = campaign.prices()
+        estimates = model.estimate(rows)
+        corr = np.corrcoef(np.log(estimates), np.log(prices))[0, 1]
+        assert corr > 0.7
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ValueError):
+            EncryptedPriceModel.train([{"a": 1}], [1.0])
+
+    def test_length_mismatch_rejected(self, campaign):
+        rows = campaign.feature_rows()
+        with pytest.raises(ValueError):
+            EncryptedPriceModel.train(rows, [1.0])
+
+    def test_oob_score_populated(self, model):
+        assert model.forest.oob_score_ is not None
+        assert model.forest.oob_score_ > 0.5
+
+
+class TestPackaging:
+    def test_package_roundtrip_preserves_estimates(self, campaign, model):
+        package = model.to_package()
+        clone = EncryptedPriceModel.from_package(package)
+        rows = campaign.feature_rows()[:100]
+        assert np.allclose(model.estimate(rows), clone.estimate(rows))
+
+    def test_package_is_json_serialisable(self, model):
+        text = json.dumps(model.to_package())
+        assert isinstance(json.loads(text), dict)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EncryptedPriceModel.from_package({"kind": "nope"})
+
+    def test_package_carries_version(self, model):
+        assert model.to_package(version=3)["version"] == 3
+
+
+class TestCrossValidation:
+    def test_cv_protocol_scores(self, campaign, model):
+        rows = campaign.feature_rows()
+        prices = list(campaign.prices())
+        result = model.cross_validate(rows, prices, n_folds=4, n_runs=1, seed=2)
+        assert len(result.reports) == 4
+        assert result.accuracy > 0.6
+        assert result.auc_roc > 0.8
+
+
+class TestRegressionBaseline:
+    def test_regression_is_poor(self, campaign):
+        """Section 5.4's negative result: regression on raw prices has
+        high relative error compared to the classifier's granularity."""
+        rows = campaign.feature_rows()
+        result = regression_baseline(rows, list(campaign.prices()), seed=4)
+        assert result.rmse_cpm > 0
+        assert result.relative_rmse > 0.2
+
+    def test_r2_bounded(self, campaign):
+        rows = campaign.feature_rows()
+        result = regression_baseline(rows, list(campaign.prices()), seed=4)
+        assert result.r2 <= 1.0

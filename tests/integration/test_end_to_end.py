@@ -1,0 +1,106 @@
+"""End-to-end integration: the full methodology on one small world.
+
+This is the reproduction's master test: simulate dataset D, analyse it
+observer-side, run the probe campaigns, train the price model, compute
+every user's cost, replay a user through YourAdValue, and check that
+the paper's qualitative findings all hold simultaneously.
+"""
+
+import numpy as np
+import pytest
+
+from repro import quickstart_pipeline
+from repro.core.cost import CostDistribution, compute_user_costs
+from repro.core.pme import mopub_cleartext_prices
+from repro.core.validation import validate_arpu
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return quickstart_pipeline(seed=31, scale=0.05)
+
+
+class TestPipelineArtifacts:
+    def test_all_artifacts_present(self, pipeline):
+        assert {"dataset", "analysis", "pme", "model", "costs", "client",
+                "summary"} <= set(pipeline)
+
+    def test_analysis_covers_dataset(self, pipeline):
+        assert len(pipeline["analysis"].observations) == pipeline["dataset"].n_impressions
+
+
+class TestPaperFindingsHoldTogether:
+    def test_encrypted_share_about_a_quarter(self, pipeline):
+        obs = pipeline["analysis"].observations
+        share = np.mean([o.is_encrypted for o in obs])
+        assert 0.12 < share < 0.40
+
+    def test_encrypted_campaign_premium(self, pipeline):
+        pme = pipeline["pme"]
+        a1 = pme.state.campaign_a1.prices()
+        a2 = pme.state.campaign_a2.prices()
+        assert 1.2 < np.median(a1) / np.median(a2) < 2.4
+
+    def test_time_correction_positive_drift(self, pipeline):
+        assert pipeline["pme"].state.time_correction > 1.0
+
+    def test_cost_distribution_shape(self, pipeline):
+        dist = CostDistribution.from_costs(pipeline["costs"])
+        # Median in the tens of CPM; a heavy upper tail exists.
+        assert 3 < dist.median_total() < 300
+        assert dist.total.max() > 5 * dist.median_total()
+
+    def test_total_includes_encrypted_uplift(self, pipeline):
+        dist = CostDistribution.from_costs(pipeline["costs"])
+        assert dist.total.sum() > dist.cleartext_corrected.sum()
+
+    def test_arpu_extrapolation_brackets_market(self, pipeline):
+        dist = CostDistribution.from_costs(pipeline["costs"])
+        validation = validate_arpu(dist.total)
+        assert validation.extrapolated_low_usd < validation.extrapolated_high_usd
+        # Order-of-magnitude agreement with reported platform ARPU.
+        assert 0.01 < validation.extrapolated_low_usd < 20
+        assert validation.agrees_with_market()
+
+
+class TestClientAgreesWithBackend:
+    def test_client_total_matches_cost_table(self, pipeline):
+        client = pipeline["client"]
+        costs = pipeline["costs"]
+        summary = client.summary()
+        heaviest = max(costs.values(), key=lambda c: c.total_cpm)
+        assert summary.cleartext_cpm == pytest.approx(
+            heaviest.cleartext_cpm, rel=1e-6
+        )
+        assert summary.n_cleartext == heaviest.n_cleartext
+        assert summary.n_encrypted == heaviest.n_encrypted
+        # Same model, same features -> identical encrypted estimates.
+        assert summary.encrypted_estimated_cpm == pytest.approx(
+            heaviest.encrypted_estimated_cpm, rel=1e-6
+        )
+
+    def test_estimates_against_simulator_truth(self, pipeline):
+        dataset = pipeline["dataset"]
+        analysis = pipeline["analysis"]
+        model = pipeline["model"]
+        from repro.core.cost import estimation_accuracy
+
+        truth = {
+            i.record.notification.encrypted_price: i.charge_price_cpm
+            for i in dataset.impressions
+            if i.is_encrypted
+        }
+        if len(truth) < 30:
+            pytest.skip("too few encrypted impressions at this scale")
+        scores = estimation_accuracy(analysis, model, truth)
+        assert scores["class_accuracy"] > 0.5
+        assert 0.5 < scores["total_ratio"] < 2.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_costs(self):
+        a = quickstart_pipeline(seed=77, scale=0.02)
+        b = quickstart_pipeline(seed=77, scale=0.02)
+        ca = {u: c.total_cpm for u, c in a["costs"].items()}
+        cb = {u: c.total_cpm for u, c in b["costs"].items()}
+        assert ca == cb

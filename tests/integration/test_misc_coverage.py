@@ -1,0 +1,69 @@
+"""Remaining small-surface coverage: PME evaluation path, observation
+properties, browsing seasonality."""
+
+import numpy as np
+import pytest
+
+from repro.analyzer.pipeline import PriceObservation
+from repro.trace.browsing import sample_event_times
+from repro.util.rng import stream
+from repro.util.timeutil import Period, epoch, month_of
+
+
+class TestPriceObservationProperties:
+    def test_month_and_year(self):
+        obs = PriceObservation(
+            timestamp=epoch(2015, 11, 3, 10),
+            user_id="u1",
+            adx="MoPub",
+            dsp="D",
+            is_encrypted=False,
+            price_cpm=0.5,
+            encrypted_token=None,
+            slot_size="300x250",
+            publisher="p",
+            publisher_iab="IAB12",
+            city="Madrid",
+            os="Android",
+            device_type="smartphone",
+            context="web",
+            campaign_id="c",
+            n_url_params=5,
+        )
+        assert obs.month == 11
+        assert obs.year == 2015
+
+
+class TestBrowsingSeasonality:
+    def test_august_dip(self):
+        """The month weights encode the Spanish August holiday dip."""
+        ts = sample_event_times(stream("season"), Period.for_year(2015), 30_000)
+        months = np.array([month_of(t) for t in ts])
+        august = np.mean(months == 8)
+        november = np.mean(months == 11)
+        assert august < november
+
+    def test_event_count_exact(self):
+        ts = sample_event_times(stream("count"), Period.for_year(2015), 123)
+        assert ts.size == 123
+
+
+class TestPmeEvaluationPath:
+    def test_train_model_with_evaluation(self):
+        """train_model(evaluate=True) populates state.evaluation."""
+        from repro.core.pme import PriceModelingEngine
+        from repro.trace.simulate import build_market, small_config
+        from repro.util.rng import RngRegistry
+
+        config = small_config(seed=311)
+        market = build_market(config, RngRegistry(config.seed))
+        pme = PriceModelingEngine(seed=311)
+        pme.state.selected_features = [
+            "context", "device_type", "city", "time_of_day", "day_of_week",
+            "slot_size", "publisher_iab", "adx",
+        ]
+        pme.run_probe_campaigns(market, auctions_per_setup=6)
+        pme.train_model(evaluate=True, cv_folds=3, cv_runs=1)
+        assert pme.state.evaluation is not None
+        assert pme.state.evaluation.accuracy > 0.3
+        assert len(pme.state.evaluation.reports) == 3

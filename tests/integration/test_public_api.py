@@ -1,0 +1,50 @@
+"""Public-API integrity: every exported name must resolve and be real."""
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.util",
+    "repro.stats",
+    "repro.ml",
+    "repro.rtb",
+    "repro.trace",
+    "repro.analyzer",
+    "repro.core",
+)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestPublicApi:
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} is exported but missing"
+
+    def test_no_duplicate_exports(self, package):
+        module = importlib.import_module(package)
+        assert len(module.__all__) == len(set(module.__all__))
+
+    def test_exports_documented(self, package):
+        """Every exported class/function carries a docstring."""
+        import typing
+
+        module = importlib.import_module(package)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if typing.get_origin(obj) is not None:  # type aliases
+                continue
+            if callable(obj) and not isinstance(obj, (int, float, str, tuple, dict)):
+                if not (getattr(obj, "__doc__", None) or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, f"undocumented exports in {package}: {undocumented}"
+
+
+def test_package_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

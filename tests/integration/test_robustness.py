@@ -1,0 +1,97 @@
+"""Robustness: hostile or malformed inputs must degrade, not crash.
+
+A transparency tool runs against adversarial traffic by definition --
+exchanges have an incentive to confuse it (the paper notes ADXs "could
+in principle fight back").  These tests feed the observer-side
+components malformed URLs, corrupted tokens and nonsense rows.
+"""
+
+import pytest
+
+from repro.analyzer.blacklist import default_blacklist
+from repro.analyzer.detector import detect_notifications
+from repro.analyzer.interests import PublisherDirectory
+from repro.analyzer.pipeline import WeblogAnalyzer
+from repro.rtb.nurl import parse_nurl
+from repro.trace.weblog import HttpRequest
+
+
+def make_row(url, domain, ua="Mozilla/5.0", ip="85.10.1.1"):
+    return HttpRequest(
+        timestamp=1.0,
+        user_id="u1",
+        url=url,
+        domain=domain,
+        user_agent=ua,
+        kind="content",
+        bytes_transferred=10,
+        duration_ms=1.0,
+        client_ip=ip,
+    )
+
+
+HOSTILE_URLS = [
+    "https://cpp.imp.mpx.mopub.com/imp?charge_price=",               # empty price
+    "https://cpp.imp.mpx.mopub.com/imp?charge_price=NaN",            # NaN literal
+    "https://cpp.imp.mpx.mopub.com/imp?charge_price=1e309",          # overflow-ish
+    "https://cpp.imp.mpx.mopub.com/imp?charge_price=%00%01",         # binary junk
+    "https://cpp.imp.mpx.mopub.com/imp?charge_price=1.0&charge_price=2.0",  # dup
+    "https://tags.mathtag.com/notify/js?price=QUJDRA",               # short blob
+    "https://tags.mathtag.com/notify/js?price=" + "A" * 500,         # huge blob
+    "https://ad.turn.com/server/ads.js?mcpm=--",                     # garbage
+    "https://ox-d.openx.net/w/1.0/win?price=+inf",                   # inf literal
+]
+
+
+class TestHostileNurls:
+    @pytest.mark.parametrize("url", HOSTILE_URLS)
+    def test_parser_never_crashes(self, url):
+        result = parse_nurl(url)
+        # Either rejected outright, or parsed into something finite.
+        if result is not None and result.cleartext_price_cpm is not None:
+            import math
+
+            assert math.isfinite(result.cleartext_price_cpm)
+            assert result.cleartext_price_cpm >= 0
+
+    def test_nan_price_rejected(self):
+        result = parse_nurl("https://cpp.imp.mpx.mopub.com/imp?charge_price=NaN")
+        assert result is None or result.cleartext_price_cpm is None
+
+    def test_detector_skips_hostile_rows(self):
+        rows = [make_row(url, "cpp.imp.mpx.mopub.com") for url in HOSTILE_URLS]
+        detections = list(detect_notifications(rows, default_blacklist()))
+        for det in detections:
+            if det.parsed.cleartext_price_cpm is not None:
+                import math
+
+                assert math.isfinite(det.parsed.cleartext_price_cpm)
+
+
+class TestAnalyzerOnGarbage:
+    def test_pipeline_survives_nonsense_rows(self):
+        rows = [
+            make_row("not a url", "???", ua="\x00\x01", ip="999.1.2.3"),
+            make_row("", "", ua="", ip=""),
+            make_row("https://x.y/" + "a" * 2000, "x.y"),
+            make_row("https://cpp.imp.mpx.mopub.com/imp?charge_price=0.5"
+                     "&bidder_name=D&size=300x250",
+                     "cpp.imp.mpx.mopub.com"),
+        ]
+        analyzer = WeblogAnalyzer(PublisherDirectory())
+        result = analyzer.analyze(rows)
+        # Only the single well-formed nURL survives.
+        assert len(result.observations) == 1
+        assert result.observations[0].price_cpm == pytest.approx(0.5)
+        assert sum(result.traffic_counts.values()) == len(rows)
+
+
+class TestNanInfPrices:
+    def test_nan_inf_literals_never_become_prices(self):
+        for literal in ("nan", "NAN", "inf", "-inf", "infinity", "+inf"):
+            url = f"https://cpp.imp.mpx.mopub.com/imp?charge_price={literal}"
+            result = parse_nurl(url)
+            if result is not None and result.cleartext_price_cpm is not None:
+                import math
+
+                assert math.isfinite(result.cleartext_price_cpm)

@@ -1,0 +1,70 @@
+"""Spend and estimation invariants under randomised schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtb.pacing import PacingController
+from repro.util.timeutil import Period
+
+
+class TestPacingInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.5, max_value=20.0),      # budget USD
+        st.floats(min_value=1.0, max_value=200.0),     # price CPM per win
+        st.integers(min_value=10, max_value=300),      # opportunities
+        st.integers(min_value=0, max_value=2**31),     # seed
+    )
+    def test_never_exceeds_budget_by_more_than_one_win(
+        self, budget, price_cpm, n_opportunities, seed
+    ):
+        controller = PacingController(budget_usd=budget, flight=Period(0, 1000))
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0, 1000, n_opportunities))
+        for ts in times:
+            if controller.exhausted:
+                break
+            if controller.participate(float(ts), rng):
+                controller.record_spend(price_cpm)
+        assert controller.spent_usd <= budget + price_cpm / 1000.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_counters_partition_opportunities(self, seed):
+        controller = PacingController(budget_usd=1.0, flight=Period(0, 100))
+        rng = np.random.default_rng(seed)
+        n = 50
+        for ts in np.linspace(0, 99, n):
+            if controller.participate(float(ts), rng):
+                controller.record_spend(30.0)
+        assert controller.admitted + controller.throttled == n
+
+
+class TestClientMetadataResilience:
+    def test_client_estimates_with_unknown_metadata(self):
+        """A nURL from an unknown city / unseen slot must still produce a
+        finite positive estimate (the encoder maps unseen to -1)."""
+        from repro.core.price_model import EncryptedPriceModel
+
+        rows = [
+            {
+                "context": "app" if i % 2 else "web",
+                "city": ["Madrid", "Barcelona"][i % 2],
+                "slot_size": ["300x250", "320x50"][i % 2],
+            }
+            for i in range(120)
+        ]
+        prices = [0.3 * (3.0 if i % 2 else 1.0) * (1 + 0.001 * (i % 9))
+                  for i in range(120)]
+        model = EncryptedPriceModel.train(
+            rows, prices, feature_names=["context", "city", "slot_size"],
+            n_estimators=5, max_depth=4, seed=0,
+        )
+        estimate = model.estimate_one(
+            {"context": "hologram", "city": "Atlantis", "slot_size": "999x1"}
+        )
+        assert np.isfinite(estimate)
+        assert estimate > 0
+        assert min(prices) <= estimate <= max(prices)

@@ -1,0 +1,98 @@
+"""Tests for the Random Forest ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+
+
+def _data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 5))
+    y = ((x[:, 0] > 0).astype(int) + (x[:, 1] > 0.5).astype(int))
+    return x, y
+
+
+class TestForestClassifier:
+    def test_beats_chance_on_structured_data(self):
+        x, y = _data()
+        forest = RandomForestClassifier(n_estimators=15, seed=1).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.85
+
+    def test_deterministic_given_seed(self):
+        x, y = _data()
+        a = RandomForestClassifier(n_estimators=8, seed=5).fit(x, y).predict(x)
+        b = RandomForestClassifier(n_estimators=8, seed=5).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        x, y = _data()
+        a = RandomForestClassifier(n_estimators=5, max_depth=3, seed=1).fit(x, y)
+        b = RandomForestClassifier(n_estimators=5, max_depth=3, seed=2).fit(x, y)
+        assert not np.allclose(a.predict_proba(x), b.predict_proba(x))
+
+    def test_oob_score_reasonable(self):
+        x, y = _data(600)
+        forest = RandomForestClassifier(n_estimators=25, oob_score=True, seed=3)
+        forest.fit(x, y)
+        assert forest.oob_score_ is not None
+        assert 0.7 < forest.oob_score_ <= 1.0
+        assert forest.oob_error_ == pytest.approx(1.0 - forest.oob_score_)
+
+    def test_oob_none_without_flag(self):
+        x, y = _data(100)
+        forest = RandomForestClassifier(n_estimators=5, seed=0).fit(x, y)
+        assert forest.oob_score_ is None
+        assert forest.oob_error_ is None
+
+    def test_feature_importances_normalised(self):
+        x, y = _data()
+        forest = RandomForestClassifier(n_estimators=10, seed=1).fit(x, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+        top_two = set(np.argsort(forest.feature_importances_)[-2:])
+        assert top_two == {0, 1}
+
+    def test_predict_proba_shape_and_sums(self):
+        x, y = _data()
+        forest = RandomForestClassifier(n_estimators=6, seed=1).fit(x, y)
+        probs = forest.predict_proba(x[:10])
+        assert probs.shape == (10, forest.n_classes_)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_zero_estimators_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_no_bootstrap_mode(self):
+        x, y = _data(150)
+        forest = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, max_features=None, seed=0
+        ).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.9
+
+
+class TestForestRegressor:
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(500, 2))
+        y = 3.0 * x[:, 0] + x[:, 1]
+        forest = RandomForestRegressor(n_estimators=20, seed=1).fit(x, y)
+        pred = forest.predict(x)
+        rmse = np.sqrt(np.mean((pred - y) ** 2))
+        assert rmse < 1.0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 3))
+        y = x[:, 0] ** 2
+        a = RandomForestRegressor(n_estimators=5, seed=9).fit(x, y).predict(x)
+        b = RandomForestRegressor(n_estimators=5, seed=9).fit(x, y).predict(x)
+        assert np.allclose(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))

@@ -1,0 +1,146 @@
+"""Tests for PCA, regression baselines and model serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.pca import PCA
+from repro.ml.regression import LinearRegression, RidgeRegression
+from repro.ml.serialize import (
+    dumps,
+    forest_from_dict,
+    forest_to_dict,
+    loads,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestPCA:
+    def test_recovers_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=1000)
+        x = np.column_stack([t, 2 * t + rng.normal(0, 0.01, 1000), rng.normal(0, 0.01, 1000)])
+        pca = PCA(n_components=1).fit(x)
+        direction = pca.components_[0] / np.linalg.norm(pca.components_[0])
+        expected = np.array([1.0, 2.0, 0.0]) / np.sqrt(5)
+        assert abs(abs(direction @ expected) - 1.0) < 1e-3
+
+    def test_explained_variance_ratio_sums_below_one(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 5))
+        pca = PCA(n_components=3).fit(x)
+        assert 0 < pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+
+    def test_transform_shape(self):
+        x = np.random.default_rng(2).normal(size=(50, 4))
+        z = PCA(n_components=2).fit_transform(x)
+        assert z.shape == (50, 2)
+
+    def test_inverse_transform_approximates(self):
+        rng = np.random.default_rng(3)
+        t = rng.normal(size=(200, 2))
+        x = np.column_stack([t[:, 0], t[:, 1], t[:, 0] + t[:, 1]])
+        pca = PCA(n_components=2).fit(x)
+        recon = pca.inverse_transform(pca.transform(x))
+        assert np.allclose(recon, x, atol=1e-8)
+
+    def test_too_many_components_raises(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=10).fit(np.zeros((5, 3)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(n_components=1).transform(np.zeros((2, 2)))
+
+
+class TestLinearRegression:
+    def test_exact_fit_on_linear_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = 2.0 * x[:, 0] - 1.5 * x[:, 1] + 0.5
+        model = LinearRegression().fit(x, y)
+        assert model.coef_ == pytest.approx([2.0, -1.5, 0.0], abs=1e-8)
+        assert model.intercept_ == pytest.approx(0.5, abs=1e-8)
+
+    def test_predict_shape(self):
+        x = np.random.default_rng(1).normal(size=(30, 2))
+        y = x[:, 0]
+        model = LinearRegression().fit(x, y)
+        assert model.predict(x).shape == (30,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((2, 2)))
+
+
+class TestRidgeRegression:
+    def test_shrinks_towards_zero_with_large_alpha(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 2))
+        y = 3.0 * x[:, 0]
+        small = RidgeRegression(alpha=1e-6).fit(x, y)
+        large = RidgeRegression(alpha=1e5).fit(x, y)
+        assert abs(large.coef_[0]) < abs(small.coef_[0])
+
+    def test_alpha_zero_matches_ols(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(80, 2))
+        y = x[:, 0] - 2 * x[:, 1] + 1.0
+        ridge = RidgeRegression(alpha=0.0).fit(x, y)
+        ols = LinearRegression().fit(x, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestSerialization:
+    def _fitted_tree(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(150, 4))
+        y = (x[:, 0] > 0).astype(int) + (x[:, 1] > 1).astype(int)
+        return DecisionTreeClassifier(max_depth=6).fit(x, y), x
+
+    def test_tree_roundtrip_preserves_predictions(self):
+        tree, x = self._fitted_tree()
+        clone = tree_from_dict(tree_to_dict(tree))
+        assert np.array_equal(tree.predict(x), clone.predict(x))
+        assert np.allclose(tree.predict_proba(x), clone.predict_proba(x))
+
+    def test_tree_json_roundtrip(self):
+        tree, x = self._fitted_tree()
+        payload = loads(dumps(tree_to_dict(tree)))
+        clone = tree_from_dict(payload)
+        assert np.array_equal(tree.predict(x), clone.predict(x))
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(ValueError):
+            tree_to_dict(DecisionTreeClassifier())
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from_dict({"kind": "pickle"})
+        with pytest.raises(ValueError):
+            forest_from_dict({"kind": "tree"})
+
+    def test_forest_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(200, 3))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=7, max_depth=5, seed=2).fit(x, y)
+        clone = forest_from_dict(forest_to_dict(forest))
+        assert np.array_equal(forest.predict(x), clone.predict(x))
+        assert np.allclose(forest.predict_proba(x), clone.predict_proba(x))
+
+    def test_serialised_forest_is_pure_json(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(60, 2))
+        y = (x[:, 0] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=3, max_depth=3, seed=1).fit(x, y)
+        text = dumps(forest_to_dict(forest))
+        assert isinstance(json.loads(text), dict)

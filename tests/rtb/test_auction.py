@@ -1,0 +1,91 @@
+"""Tests for second-price auction clearing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtb.auction import AuctionError, AuctionOutcome, run_second_price_auction
+from repro.rtb.openrtb import Bid
+
+
+def bid(dsp: str, price: float) -> Bid:
+    return Bid(dsp=dsp, advertiser="adv", campaign_id=f"c-{dsp}", price_cpm=price)
+
+
+class TestSecondPriceClearing:
+    def test_winner_pays_second_price_plus_increment(self):
+        outcome = run_second_price_auction([bid("a", 2.0), bid("b", 1.5)])
+        assert outcome.winner.dsp == "a"
+        assert outcome.charge_price_cpm == pytest.approx(1.51)
+        assert outcome.second_price_cpm == 1.5
+
+    def test_charge_never_exceeds_winning_bid(self):
+        outcome = run_second_price_auction([bid("a", 1.0), bid("b", 0.999)])
+        assert outcome.charge_price_cpm <= 1.0
+
+    def test_single_bidder_pays_floor(self):
+        outcome = run_second_price_auction([bid("a", 5.0)], floor_cpm=0.5)
+        assert outcome.charge_price_cpm == 0.5
+        assert outcome.second_price_cpm is None
+
+    def test_single_bidder_no_floor_pays_own_bid(self):
+        outcome = run_second_price_auction([bid("a", 5.0)])
+        assert outcome.charge_price_cpm == 5.0
+
+    def test_no_bids_above_floor_returns_none(self):
+        assert run_second_price_auction([bid("a", 0.1)], floor_cpm=1.0) is None
+
+    def test_empty_bids_returns_none(self):
+        assert run_second_price_auction([]) is None
+
+    def test_floor_dominates_low_second_price(self):
+        outcome = run_second_price_auction(
+            [bid("a", 5.0), bid("b", 0.6)], floor_cpm=0.5
+        )
+        assert outcome.charge_price_cpm == pytest.approx(0.61)
+
+    def test_deterministic_tie_break(self):
+        bids = [bid("beta", 1.0), bid("alpha", 1.0)]
+        first = run_second_price_auction(bids)
+        second = run_second_price_auction(list(reversed(bids)))
+        assert first.winner.dsp == second.winner.dsp == "alpha"
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(AuctionError):
+            run_second_price_auction([bid("a", 1.0)], floor_cpm=-1.0)
+
+    def test_n_bids_counts_only_eligible(self):
+        outcome = run_second_price_auction(
+            [bid("a", 2.0), bid("b", 1.0), bid("c", 0.01)], floor_cpm=0.5
+        )
+        assert outcome.n_bids == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_invariants_hold_for_any_bid_set(self, prices):
+        bids = [bid(f"d{i}", p) for i, p in enumerate(prices)]
+        outcome = run_second_price_auction(bids)
+        assert outcome is not None
+        assert outcome.winner.price_cpm == max(prices)
+        assert outcome.charge_price_cpm <= outcome.winner.price_cpm + 1e-9
+        second = sorted(prices)[-2]
+        assert outcome.charge_price_cpm >= second
+
+    def test_outcome_validation_rejects_overcharge(self):
+        with pytest.raises(AuctionError):
+            AuctionOutcome(
+                winner=bid("a", 1.0),
+                charge_price_cpm=2.0,
+                n_bids=1,
+                second_price_cpm=None,
+            )
+
+    def test_negative_bid_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            bid("a", -0.5)

@@ -1,0 +1,145 @@
+"""Tests for currency normalisation and budget pacing."""
+
+import numpy as np
+import pytest
+
+from repro.rtb.bidding import FixedBidEngine
+from repro.rtb.campaign import Campaign
+from repro.rtb.currency import (
+    CurrencyConverter,
+    CurrencyError,
+    normalize_price_usd,
+)
+from repro.rtb.pacing import PacedEngine, PacingController
+from repro.util.rng import stream
+from repro.util.timeutil import Period
+
+
+class TestCurrencyConverter:
+    def test_usd_identity(self):
+        converter = CurrencyConverter()
+        assert converter.to_usd(1.5, "USD") == 1.5
+
+    def test_eur_conversion(self):
+        converter = CurrencyConverter()
+        assert converter.to_usd(1.0, "EUR") == pytest.approx(1.10)
+
+    def test_case_insensitive(self):
+        converter = CurrencyConverter()
+        assert converter.to_usd(1.0, "eur") == pytest.approx(1.10)
+
+    def test_unknown_assumes_usd_by_default(self):
+        """The paper's footnote-4 behaviour."""
+        converter = CurrencyConverter()
+        assert converter.to_usd(2.0, "XXX") == 2.0
+
+    def test_unknown_raise_policy(self):
+        converter = CurrencyConverter(unknown_policy="raise")
+        with pytest.raises(CurrencyError):
+            converter.to_usd(1.0, "XXX")
+
+    def test_cross_conversion_roundtrip(self):
+        converter = CurrencyConverter()
+        eur = converter.convert(10.0, "USD", "EUR")
+        assert converter.convert(eur, "EUR", "USD") == pytest.approx(10.0)
+
+    def test_set_rate(self):
+        converter = CurrencyConverter()
+        converter.set_rate("NOK", 0.12)
+        assert converter.to_usd(10.0, "NOK") == pytest.approx(1.2)
+        with pytest.raises(CurrencyError):
+            converter.set_rate("NOK", -1)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(CurrencyError):
+            CurrencyConverter(unknown_policy="guess")
+
+    def test_normalize_helper(self):
+        assert normalize_price_usd(1.0, "EUR") == pytest.approx(1.10)
+        assert normalize_price_usd(1.0, None) == 1.0
+
+
+class TestPacingController:
+    FLIGHT = Period(0.0, 1000.0)
+
+    def test_ideal_spend_linear(self):
+        controller = PacingController(budget_usd=10.0, flight=self.FLIGHT)
+        assert controller.ideal_spend(0.0) == 0.0
+        assert controller.ideal_spend(500.0) == pytest.approx(5.0)
+        assert controller.ideal_spend(2000.0) == pytest.approx(10.0)
+
+    def test_on_schedule_always_participates(self):
+        controller = PacingController(budget_usd=10.0, flight=self.FLIGHT)
+        controller.spent_usd = 4.0
+        assert controller.participation_probability(500.0) == 1.0
+
+    def test_overspend_throttles(self):
+        controller = PacingController(budget_usd=10.0, flight=self.FLIGHT)
+        controller.spent_usd = 5.75  # 1.15x ahead at t=500
+        p = controller.participation_probability(500.0)
+        assert 0.0 < p < 1.0
+        controller.spent_usd = 9.0   # far ahead -> fully throttled
+        assert controller.participation_probability(500.0) == 0.0
+
+    def test_exhausted_never_participates(self):
+        controller = PacingController(budget_usd=1.0, flight=self.FLIGHT)
+        controller.spent_usd = 1.0
+        assert controller.participation_probability(999.0) == 0.0
+        assert controller.exhausted
+        assert controller.remaining_usd == 0.0
+
+    def test_record_spend_and_counters(self):
+        controller = PacingController(budget_usd=10.0, flight=self.FLIGHT)
+        rng = stream("pace")
+        allowed = controller.participate(100.0, rng)
+        assert allowed and controller.admitted == 1
+        controller.record_spend(2000.0)  # $2
+        assert controller.spent_usd == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            controller.record_spend(-1)
+
+    def test_smooths_spend_over_flight(self):
+        """With pacing, spend tracks the linear curve; the greedy
+        baseline burns the budget early."""
+        rng = stream("pace2")
+        price_per_win_cpm = 50.0  # $0.05
+        budget = 2.0              # 40 wins affordable
+
+        controller = PacingController(budget_usd=budget, flight=self.FLIGHT)
+        paced_spend_at_half = None
+        for ts in np.linspace(0, 999, 400):
+            if controller.exhausted:
+                break
+            if controller.participate(float(ts), rng):
+                controller.record_spend(price_per_win_cpm)
+            if paced_spend_at_half is None and ts >= 500:
+                paced_spend_at_half = controller.spent_usd
+        # Paced spend at mid-flight stays near half the budget.
+        assert paced_spend_at_half == pytest.approx(budget / 2, rel=0.35)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PacingController(budget_usd=0.0, flight=self.FLIGHT)
+        with pytest.raises(ValueError):
+            PacingController(budget_usd=1.0, flight=self.FLIGHT, tolerance=-1)
+
+
+class TestPacedEngine:
+    def test_wraps_inner_engine(self):
+        from tests.rtb.test_bidding_exchange import make_request
+
+        controller = PacingController(budget_usd=10.0, flight=Period(0, 2e9))
+        engine = PacedEngine(inner=FixedBidEngine(1.5), controller=controller)
+        campaign = Campaign("c", "adv")
+        bid = engine.price_bid(make_request(), campaign, stream("pe"))
+        assert bid == 1.5
+        engine.notify_win(1.5)
+        assert controller.spent_usd == pytest.approx(0.0015)
+
+    def test_throttled_returns_none(self):
+        from tests.rtb.test_bidding_exchange import make_request
+
+        controller = PacingController(budget_usd=1.0, flight=Period(0, 2e9))
+        controller.spent_usd = 1.0
+        engine = PacedEngine(inner=FixedBidEngine(1.5), controller=controller)
+        assert engine.price_bid(make_request(), Campaign("c", "a"), stream("pe2")) is None

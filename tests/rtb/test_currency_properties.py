@@ -1,0 +1,42 @@
+"""Property-based tests for currency conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtb.currency import DEFAULT_RATES_TO_USD, CurrencyConverter
+
+codes = st.sampled_from(sorted(DEFAULT_RATES_TO_USD))
+amounts = st.floats(min_value=0.0001, max_value=1e6, allow_nan=False)
+
+
+class TestConversionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(amounts, codes, codes)
+    def test_roundtrip_identity(self, amount, source, target):
+        converter = CurrencyConverter()
+        there = converter.convert(amount, source, target)
+        back = converter.convert(there, target, source)
+        assert back == pytest.approx(amount, rel=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(amounts, codes)
+    def test_positive_amounts_stay_positive(self, amount, code):
+        assert CurrencyConverter().to_usd(amount, code) > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(amounts, amounts, codes)
+    def test_linearity(self, a, b, code):
+        converter = CurrencyConverter()
+        assert converter.to_usd(a + b, code) == pytest.approx(
+            converter.to_usd(a, code) + converter.to_usd(b, code), rel=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(amounts, codes, codes, codes)
+    def test_triangular_consistency(self, amount, a, b, c):
+        """Converting a->b->c equals a->c (no arbitrage in the table)."""
+        converter = CurrencyConverter()
+        via = converter.convert(converter.convert(amount, a, b), b, c)
+        direct = converter.convert(amount, a, c)
+        assert via == pytest.approx(direct, rel=1e-9)

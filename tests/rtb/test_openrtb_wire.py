@@ -1,0 +1,181 @@
+"""Tests for the OpenRTB JSON wire codec."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtb.adslots import AdSlotSize
+from repro.rtb.iab import InterestProfile
+from repro.rtb.openrtb import (
+    Bid,
+    BidRequest,
+    BidResponse,
+    Device,
+    Geo,
+    Impression,
+    UserInfo,
+)
+from repro.rtb.openrtb_wire import (
+    OpenRtbError,
+    bid_request_from_dict,
+    bid_request_to_dict,
+    bid_response_from_dict,
+    bid_response_to_dict,
+    dumps_request,
+    dumps_response,
+    loads_request,
+    loads_response,
+)
+from repro.util.timeutil import epoch
+
+
+def make_request(is_app=True):
+    return BidRequest(
+        auction_id="auc-7",
+        timestamp=epoch(2015, 6, 1, 9),
+        imp=Impression(
+            impression_id="auc-7-1",
+            slot_size=AdSlotSize(300, 250),
+            bidfloor_cpm=0.05,
+            interstitial=False,
+        ),
+        publisher="news.example.es",
+        publisher_iab="IAB12",
+        device=Device(
+            os="iOS", device_type="tablet", user_agent="UA", ip="85.10.1.2"
+        ),
+        geo=Geo(country="ES", city="Madrid"),
+        user=UserInfo(
+            exchange_uid="xu-1",
+            buyer_uids={"DBM": "b-1"},
+            interests=InterestProfile.from_counts({"IAB3": 2.0, "IAB12": 1.0}),
+        ),
+        is_app=is_app,
+        adx="MoPub",
+    )
+
+
+class TestRequestCodec:
+    def test_roundtrip_app(self):
+        request = make_request(is_app=True)
+        clone = bid_request_from_dict(bid_request_to_dict(request))
+        assert clone.auction_id == request.auction_id
+        assert clone.timestamp == request.timestamp
+        assert clone.imp == request.imp
+        assert clone.publisher == request.publisher
+        assert clone.publisher_iab == request.publisher_iab
+        assert clone.device == request.device
+        assert clone.geo == request.geo
+        assert clone.is_app is True
+        assert clone.adx == "MoPub"
+        assert clone.user.buyer_uids == {"DBM": "b-1"}
+
+    def test_roundtrip_web(self):
+        clone = bid_request_from_dict(bid_request_to_dict(make_request(is_app=False)))
+        assert clone.is_app is False
+
+    def test_json_string_roundtrip(self):
+        request = make_request()
+        text = dumps_request(request)
+        assert isinstance(json.loads(text), dict)
+        clone = loads_request(text)
+        assert clone.auction_id == request.auction_id
+
+    def test_spec_fields_present(self):
+        payload = bid_request_to_dict(make_request())
+        assert payload["at"] == 2                       # second-price
+        assert payload["imp"][0]["banner"] == {"w": 300, "h": 250}
+        assert payload["app"]["cat"] == ["IAB12"]
+        assert payload["device"]["devicetype"] == 5     # tablet
+        assert payload["tmax"] == 100
+
+    def test_interest_keywords_roundtrip(self):
+        clone = bid_request_from_dict(bid_request_to_dict(make_request()))
+        assert set(clone.user.interests.top(2)) == {"IAB3", "IAB12"}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(OpenRtbError):
+            bid_request_from_dict({"id": "x"})
+        with pytest.raises(OpenRtbError):
+            loads_request("not json")
+        with pytest.raises(OpenRtbError):
+            loads_request("[1,2]")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=2000),
+        st.integers(min_value=1, max_value=2000),
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+    )
+    def test_slot_and_floor_roundtrip(self, w, h, floor):
+        request = BidRequest(
+            auction_id="a",
+            timestamp=0.0,
+            imp=Impression(
+                impression_id="i", slot_size=AdSlotSize(w, h), bidfloor_cpm=floor
+            ),
+            publisher="p",
+            publisher_iab="IAB1",
+            device=Device(os="Android", device_type="smartphone"),
+            geo=Geo(),
+            user=UserInfo(exchange_uid="u"),
+            is_app=False,
+            adx="MoPub",
+        )
+        clone = bid_request_from_dict(bid_request_to_dict(request))
+        assert clone.imp.slot_size == AdSlotSize(w, h)
+        assert clone.imp.bidfloor_cpm == pytest.approx(floor)
+
+
+class TestResponseCodec:
+    def make_response(self, n_bids=1):
+        bids = tuple(
+            Bid(
+                dsp="DBM",
+                advertiser=f"Brand{i}",
+                campaign_id=f"c{i}",
+                price_cpm=1.5 + i,
+                creative_domain=f"brand{i}.example.com",
+            )
+            for i in range(n_bids)
+        )
+        return BidResponse(auction_id="auc-7", dsp="DBM", bids=bids)
+
+    def test_roundtrip(self):
+        response = self.make_response()
+        clone = bid_response_from_dict(bid_response_to_dict(response))
+        assert clone.auction_id == response.auction_id
+        assert clone.dsp == "DBM"
+        assert clone.bids == response.bids
+
+    def test_no_bid_roundtrip(self):
+        response = BidResponse(auction_id="auc-7", dsp="DBM")
+        payload = bid_response_to_dict(response)
+        assert payload["nbr"] == 2
+        clone = bid_response_from_dict(payload, dsp="DBM")
+        assert clone.is_no_bid
+        assert clone.dsp == "DBM"
+
+    def test_multiple_bids(self):
+        clone = bid_response_from_dict(
+            bid_response_to_dict(self.make_response(n_bids=3))
+        )
+        assert len(clone.bids) == 3
+        assert clone.bids[2].price_cpm == pytest.approx(3.5)
+
+    def test_json_string_roundtrip(self):
+        response = self.make_response()
+        clone = loads_response(dumps_response(response))
+        assert clone.bids == response.bids
+
+    def test_malformed_rejected(self):
+        with pytest.raises(OpenRtbError):
+            bid_response_from_dict({})
+        with pytest.raises(OpenRtbError):
+            bid_response_from_dict(
+                {"id": "x", "seatbid": [{"seat": "s", "bid": [{"impid": "i"}]}]}
+            )
+        with pytest.raises(OpenRtbError):
+            loads_response("}{")

@@ -1,0 +1,112 @@
+"""Tests for the 28-byte price encryption scheme."""
+
+import base64
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtb.pricecrypto import (
+    CIPHERTEXT_SIZE,
+    PriceCryptoError,
+    PriceKeys,
+    decrypt_price,
+    encrypt_price,
+    looks_like_encrypted_price,
+)
+
+KEYS = PriceKeys.derive("test-exchange")
+IV = bytes(range(16))
+
+
+class TestRoundtrip:
+    def test_known_price(self):
+        token = encrypt_price(0.95, KEYS, IV)
+        assert decrypt_price(token, KEYS) == pytest.approx(0.95)
+
+    @given(st.floats(min_value=0.0001, max_value=500, allow_nan=False))
+    @settings(max_examples=50)
+    def test_any_price_roundtrips_within_micro(self, cpm):
+        token = encrypt_price(cpm, KEYS, IV)
+        assert decrypt_price(token, KEYS) == pytest.approx(cpm, abs=1e-6)
+
+    def test_zero_price(self):
+        token = encrypt_price(0.0, KEYS, IV)
+        assert decrypt_price(token, KEYS) == 0.0
+
+    def test_ciphertext_is_28_bytes(self):
+        token = encrypt_price(1.23, KEYS, IV)
+        padding = "=" * (-len(token) % 4)
+        raw = base64.urlsafe_b64decode(token + padding)
+        assert len(raw) == CIPHERTEXT_SIZE == 28
+
+
+class TestSecurityProperties:
+    def test_wrong_key_fails_integrity(self):
+        token = encrypt_price(1.0, KEYS, IV)
+        other = PriceKeys.derive("other-exchange")
+        with pytest.raises(PriceCryptoError, match="integrity"):
+            decrypt_price(token, other)
+
+    def test_tampered_ciphertext_fails(self):
+        token = encrypt_price(1.0, KEYS, IV)
+        padding = "=" * (-len(token) % 4)
+        raw = bytearray(base64.urlsafe_b64decode(token + padding))
+        raw[20] ^= 0xFF  # flip a bit in the encrypted price
+        tampered = base64.urlsafe_b64encode(bytes(raw)).decode().rstrip("=")
+        with pytest.raises(PriceCryptoError):
+            decrypt_price(tampered, KEYS)
+
+    def test_different_ivs_give_different_tokens(self):
+        t1 = encrypt_price(1.0, KEYS, bytes(16))
+        t2 = encrypt_price(1.0, KEYS, bytes(range(16)))
+        assert t1 != t2
+
+    def test_same_iv_same_token(self):
+        assert encrypt_price(1.0, KEYS, IV) == encrypt_price(1.0, KEYS, IV)
+
+    def test_bad_iv_length_rejected(self):
+        with pytest.raises(PriceCryptoError):
+            encrypt_price(1.0, KEYS, b"short")
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            encrypt_price(-1.0, KEYS, IV)
+
+    def test_wrong_length_token_rejected(self):
+        with pytest.raises(PriceCryptoError):
+            decrypt_price("QUJD", KEYS)
+
+    def test_garbage_base64_rejected(self):
+        with pytest.raises(PriceCryptoError):
+            decrypt_price("!!!not-base64!!!", KEYS)
+
+
+class TestDetectionHeuristic:
+    def test_real_token_detected(self):
+        assert looks_like_encrypted_price(encrypt_price(2.5, KEYS, IV))
+
+    def test_cleartext_price_not_detected(self):
+        assert not looks_like_encrypted_price("0.95")
+
+    def test_short_string_not_detected(self):
+        assert not looks_like_encrypted_price("abc")
+
+    def test_empty_not_detected(self):
+        assert not looks_like_encrypted_price("")
+
+    def test_wrong_length_blob_not_detected(self):
+        blob = base64.urlsafe_b64encode(bytes(20)).decode().rstrip("=")
+        assert not looks_like_encrypted_price(blob)
+
+
+class TestKeys:
+    def test_derivation_deterministic(self):
+        assert PriceKeys.derive("x") == PriceKeys.derive("x")
+
+    def test_different_secrets_different_keys(self):
+        assert PriceKeys.derive("x") != PriceKeys.derive("y")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            PriceKeys(encryption_key=b"", integrity_key=b"k")

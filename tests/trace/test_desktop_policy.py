@@ -1,0 +1,32 @@
+"""Tests for the desktop-style encryption policy variant."""
+
+import pytest
+
+from repro.rtb.entities import MARKET_SHARES
+from repro.trace.simulate import PREMIUM_DSPS, STANDARD_DSPS, build_desktop_policy
+from repro.util.rng import stream
+from repro.util.timeutil import epoch
+
+
+class TestDesktopPolicy:
+    def test_encrypted_share_near_sixty_eight_percent(self):
+        policy = build_desktop_policy(stream("desk"))
+        fraction = policy.encrypted_fraction(epoch(2015, 6, 1))
+        assert 0.55 < fraction < 0.80
+
+    def test_covers_every_pair(self):
+        policy = build_desktop_policy(stream("desk2"))
+        expected = len(MARKET_SHARES) * (len(STANDARD_DSPS) + len(PREMIUM_DSPS))
+        assert len(policy.pairs()) == expected
+
+    def test_adoption_precedes_observation_year(self):
+        policy = build_desktop_policy(stream("desk3"))
+        start_2015 = epoch(2015, 1, 1)
+        for (adx, dsp), adoption in policy.adoption.items():
+            if adoption is not None:
+                assert adoption < start_2015
+
+    def test_deterministic_per_stream(self):
+        a = build_desktop_policy(stream("desk4"))
+        b = build_desktop_policy(stream("desk4"))
+        assert a.adoption == b.adoption

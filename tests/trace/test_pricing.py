@@ -1,0 +1,110 @@
+"""Tests for the ground-truth price process calibration."""
+
+import numpy as np
+import pytest
+
+from repro.rtb.adslots import AdSlotSize
+from repro.rtb.openrtb import BidRequest, Device, Geo, Impression, UserInfo
+from repro.trace.pricing import (
+    APP_MULTIPLIER,
+    IAB_MULTIPLIERS,
+    OS_MULTIPLIERS,
+    SLOT_MULTIPLIERS,
+    GroundTruthPriceModel,
+    months_since_2015,
+)
+from repro.util.timeutil import epoch
+
+
+def make_request(auction_id="a1", city="Madrid", is_app=False, os="Android",
+                 slot="320x50", iab="IAB12", adx="MoPub", hour=10, year=2015,
+                 month=6, publisher="pub.example.es", device_type="smartphone"):
+    return BidRequest(
+        auction_id=auction_id,
+        timestamp=epoch(year, month, 15, hour),
+        imp=Impression(impression_id="i", slot_size=AdSlotSize.parse(slot)),
+        publisher=publisher,
+        publisher_iab=iab,
+        device=Device(os=os, device_type=device_type),
+        geo=Geo(country="ES", city=city),
+        user=UserInfo(exchange_uid="u"),
+        is_app=is_app,
+        adx=adx,
+    )
+
+
+MODEL = GroundTruthPriceModel()
+
+
+class TestCalibrationShapes:
+    def test_app_premium(self):
+        web = MODEL.deterministic_value(make_request(is_app=False))
+        app = MODEL.deterministic_value(make_request(is_app=True))
+        assert app / web == pytest.approx(APP_MULTIPLIER)
+
+    def test_ios_premium(self):
+        android = MODEL.deterministic_value(make_request(os="Android"))
+        ios = MODEL.deterministic_value(make_request(os="iOS"))
+        assert ios > android
+
+    def test_iab3_dearest_iab15_cheapest(self):
+        assert max(IAB_MULTIPLIERS, key=IAB_MULTIPLIERS.get) == "IAB3"
+        values = {k: v for k, v in IAB_MULTIPLIERS.items() if k.startswith("IAB1")}
+        assert IAB_MULTIPLIERS["IAB15"] < IAB_MULTIPLIERS["IAB12"]
+
+    def test_mpu_beats_larger_slots(self):
+        """Figure 13: price does not grow with slot area."""
+        assert SLOT_MULTIPLIERS["300x250"] > SLOT_MULTIPLIERS["300x600"]
+        assert SLOT_MULTIPLIERS["300x250"] > SLOT_MULTIPLIERS["728x90"]
+        assert SLOT_MULTIPLIERS["300x600"] > SLOT_MULTIPLIERS["160x600"]
+
+    def test_morning_premium(self):
+        night = MODEL.deterministic_value(make_request(hour=2))
+        morning = MODEL.deterministic_value(make_request(hour=10))
+        assert morning > night
+
+    def test_big_city_discount(self):
+        madrid = MODEL.deterministic_value(make_request(city="Madrid"))
+        torello = MODEL.deterministic_value(make_request(city="Torello"))
+        assert madrid < torello
+
+    def test_year_drift_up(self):
+        v2015 = MODEL.deterministic_value(make_request(year=2015, month=6))
+        v2016 = MODEL.deterministic_value(make_request(auction_id="a1", year=2016, month=6))
+        assert v2016 > v2015 * 1.1
+
+    def test_months_since_2015(self):
+        assert months_since_2015(epoch(2015, 1, 15)) == 0
+        assert months_since_2015(epoch(2015, 12, 15)) == 11
+        assert months_since_2015(epoch(2016, 5, 15)) == 16
+
+
+class TestShock:
+    def test_shock_deterministic_per_auction(self):
+        a = MODEL.value_cpm(make_request(auction_id="x"))
+        b = MODEL.value_cpm(make_request(auction_id="x"))
+        assert a == b
+
+    def test_shock_varies_across_auctions(self):
+        values = {MODEL.value_cpm(make_request(auction_id=f"a{i}")) for i in range(50)}
+        assert len(values) == 50
+
+    def test_shock_median_close_to_deterministic(self):
+        requests = [make_request(auction_id=f"s{i}") for i in range(3000)]
+        values = np.array([MODEL.value_cpm(r) for r in requests])
+        det = MODEL.deterministic_value(requests[0])
+        assert np.median(values) == pytest.approx(det, rel=0.05)
+
+    def test_weekday_sigma_wider(self):
+        monday = make_request(auction_id="m")            # 2015-06-15 is a Monday
+        assert MODEL.shock_sigma(monday) > MODEL.sigma_base
+
+    def test_publisher_idiosyncrasy_stable(self):
+        a = MODEL.deterministic_value(make_request(publisher="alpha.example"))
+        b = MODEL.deterministic_value(make_request(publisher="alpha.example"))
+        c = MODEL.deterministic_value(make_request(publisher="beta.example"))
+        assert a == b
+        assert a != c
+
+    def test_callable_protocol(self):
+        assert MODEL(make_request()) == MODEL.value_cpm(make_request())

@@ -1,0 +1,123 @@
+"""Tests for the end-to-end dataset simulation."""
+
+import numpy as np
+import pytest
+
+from repro.rtb.entities import ENCRYPTING_ADXS, MARKET_SHARES
+from repro.trace.simulate import (
+    PREMIUM_DSPS,
+    STANDARD_DSPS,
+    build_market,
+    simulate_dataset,
+    small_config,
+)
+from repro.trace.weblog import KIND_NURL
+from repro.util.rng import RngRegistry
+from repro.util.timeutil import epoch
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return simulate_dataset(small_config())
+
+
+class TestMarketConstruction:
+    def test_all_exchanges_present(self):
+        market = build_market(small_config(), RngRegistry(1))
+        assert set(market.exchanges) == set(MARKET_SHARES)
+
+    def test_dsp_roster(self):
+        market = build_market(small_config(), RngRegistry(1))
+        names = {d.name for d in market.dsps}
+        assert names == set(STANDARD_DSPS) | set(PREMIUM_DSPS)
+
+    def test_premium_dsps_restricted_to_encrypting_adxs(self):
+        market = build_market(small_config(), RngRegistry(1))
+        for dsp in market.dsps:
+            if dsp.name in PREMIUM_DSPS:
+                for campaign in dsp.campaigns:
+                    assert campaign.targeting.adxs == frozenset(ENCRYPTING_ADXS)
+
+    def test_policy_nonencrypting_pairs_cleartext_forever(self):
+        market = build_market(small_config(), RngRegistry(1))
+        late = epoch(2030, 1, 1)
+        for (adx, dsp), adoption in market.policy.adoption.items():
+            if adx not in ENCRYPTING_ADXS:
+                assert adoption is None
+                assert not market.policy.is_encrypted(adx, dsp, late)
+
+    def test_policy_premium_pairs_encrypted_by_2016(self):
+        market = build_market(small_config(), RngRegistry(1))
+        ts = epoch(2016, 1, 1)
+        for adx in ENCRYPTING_ADXS:
+            for dsp in PREMIUM_DSPS:
+                assert market.policy.is_encrypted(adx, dsp, ts)
+
+
+class TestSimulatedDataset:
+    def test_impression_volume_near_target(self, dataset):
+        config = small_config()
+        assert dataset.n_impressions > 0.9 * config.target_auctions
+
+    def test_rows_sorted_by_time(self, dataset):
+        times = [r.timestamp for r in dataset.rows]
+        assert times == sorted(times)
+
+    def test_rows_inside_period(self, dataset):
+        assert all(
+            dataset.period.start <= r.timestamp < dataset.period.end + 1
+            for r in dataset.rows
+        )
+
+    def test_every_impression_has_a_nurl_row(self, dataset):
+        nurl_rows = sum(1 for r in dataset.rows if r.kind == KIND_NURL)
+        assert nurl_rows == dataset.n_impressions
+
+    def test_encrypted_fraction_near_quarter(self, dataset):
+        """Section 2.4: ~26% of mobile RTB ads carry encrypted prices."""
+        summary = dataset.summary()
+        assert 0.15 < summary["encrypted_fraction"] < 0.35
+
+    def test_encrypted_only_from_encrypting_adxs(self, dataset):
+        for imp in dataset.impressions:
+            if imp.is_encrypted:
+                assert imp.record.notification.adx in ENCRYPTING_ADXS
+
+    def test_encrypted_prices_higher(self, dataset):
+        prices = np.array([i.charge_price_cpm for i in dataset.impressions])
+        enc = np.array([i.is_encrypted for i in dataset.impressions])
+        ratio = np.median(prices[enc]) / np.median(prices[~enc])
+        assert 1.3 < ratio < 2.2
+
+    def test_mopub_roughly_a_third_of_volume(self, dataset):
+        mopub = sum(
+            1 for i in dataset.impressions if i.record.notification.adx == "MoPub"
+        )
+        assert mopub / dataset.n_impressions == pytest.approx(0.3355, abs=0.06)
+
+    def test_deterministic_given_seed(self):
+        a = simulate_dataset(small_config(seed=99))
+        b = simulate_dataset(small_config(seed=99))
+        assert a.n_rows == b.n_rows
+        assert a.rows[0] == b.rows[0]
+        assert [i.charge_price_cpm for i in a.impressions[:20]] == [
+            i.charge_price_cpm for i in b.impressions[:20]
+        ]
+
+    def test_different_seeds_differ(self):
+        a = simulate_dataset(small_config(seed=1))
+        b = simulate_dataset(small_config(seed=2))
+        assert [i.charge_price_cpm for i in a.impressions[:20]] != [
+            i.charge_price_cpm for i in b.impressions[:20]
+        ]
+
+    def test_summary_fields(self, dataset):
+        summary = dataset.summary()
+        assert summary["users"] == small_config().n_users
+        assert summary["period_days"] == 365.0
+        assert summary["iab_categories"] <= 18
+
+    def test_user_stats_accumulated(self, dataset):
+        assert dataset.stats
+        total = sum(s.requests for s in dataset.stats.values())
+        assert total == dataset.n_rows

@@ -1,0 +1,61 @@
+"""Tests for the seeded random-stream registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import DEFAULT_SEED, RngRegistry, derive_seed, stream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_root(self):
+        assert derive_seed(42, "a") != derive_seed(43, "a")
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=30))
+    def test_always_in_uint64_range(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**64
+
+
+class TestStream:
+    def test_same_name_same_draws(self):
+        a = stream("x", 1).random(5)
+        b = stream("x", 1).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_diverge(self):
+        a = stream("x", 1).random(5)
+        b = stream("y", 1).random(5)
+        assert not np.allclose(a, b)
+
+
+class TestRngRegistry:
+    def test_caches_streams(self):
+        rngs = RngRegistry(seed=7)
+        assert rngs.get("auction") is rngs.get("auction")
+
+    def test_distinct_names_distinct_streams(self):
+        rngs = RngRegistry(seed=7)
+        assert rngs.get("a") is not rngs.get("b")
+
+    def test_reset_restarts_draws(self):
+        rngs = RngRegistry(seed=7)
+        first = rngs.get("s").random()
+        rngs.reset()
+        assert rngs.get("s").random() == first
+
+    def test_spawn_is_isolated(self):
+        parent = RngRegistry(seed=7)
+        child = parent.spawn("sub")
+        assert child.seed != parent.seed
+        assert child.get("s").random() != parent.get("s").random()
+
+    def test_default_seed_constant(self):
+        assert RngRegistry().seed == DEFAULT_SEED
