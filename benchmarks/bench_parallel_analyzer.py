@@ -1,0 +1,219 @@
+"""Throughput benchmark: sequential vs sharded parallel analyzer.
+
+Tracks the hottest path in the repo from this PR onward.  Reports, as
+one JSON record per configuration:
+
+* ``rows_per_sec`` -- weblog rows analysed per second;
+* ``peak_observations`` -- observation count held at the end of the
+  run (the analyzer's dominant retained state);
+* ``speedup_vs_sequential`` -- relative to the single-pass sequential
+  baseline measured in the same process.
+
+Two entry points:
+
+* standalone script (no pytest needed)::
+
+      PYTHONPATH=src python benchmarks/bench_parallel_analyzer.py \
+          --scale 0.4 --workers 1 2 4 --chunk-size 20000 \
+          --json benchmarks/output/parallel_analyzer.json
+
+* pytest benchmark (session dataset D fixtures)::
+
+      pytest benchmarks/bench_parallel_analyzer.py -s
+
+Also times the pre-refactor *dual-pass* layout (classify for the
+histogram, re-classify for detection, re-classify in the feature
+extractor) so the single-pass win is visible even on 1-core boxes,
+where process-pool speedup is bounded by hardware parallelism (the
+record carries ``cpu_count`` so readers can judge).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.analyzer.blacklist import default_blacklist
+from repro.analyzer.detector import classify_rows, detect_notifications
+from repro.analyzer.features import FeatureExtractor
+from repro.analyzer.interests import PublisherDirectory
+from repro.analyzer.parallel import analyze_parallel
+from repro.analyzer.pipeline import WeblogAnalyzer
+
+
+def _time_run(fn, repeats: int = 3) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time (resists noisy-neighbour skew)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _dual_pass_baseline(rows, directory):
+    """The pre-refactor analyzer layout: classify every domain thrice
+    (traffic histogram, nURL detection, feature-extractor scan), then
+    build the observation list -- exactly what ``analyze()`` did before
+    the single-pass refactor."""
+    blacklist = default_blacklist()
+    analyzer = WeblogAnalyzer(directory, blacklist)
+    traffic = classify_rows(rows, blacklist)
+    notifications = list(detect_notifications(rows, blacklist))
+    extractor = FeatureExtractor(
+        rows, notifications, blacklist, directory, analyzer.geoip
+    )
+    observations = [
+        analyzer._to_observation(det, extractor) for det in notifications
+    ]
+    return traffic, notifications, extractor, observations
+
+
+def run_matrix(
+    rows, directory, workers_list=(1, 2, 4), chunk_size=20_000, repeats=3
+) -> dict:
+    """Time every configuration over ``rows``; returns the JSON record."""
+    rows = list(rows)  # pay materialisation once, outside the timings
+    n_rows = len(rows)
+    records = []
+
+    legacy_s, _ = _time_run(
+        lambda: _dual_pass_baseline(rows, directory), repeats
+    )
+    records.append(
+        {
+            "mode": "legacy-dual-pass",
+            "workers": 1,
+            "seconds": round(legacy_s, 4),
+            "rows_per_sec": round(n_rows / legacy_s, 1),
+        }
+    )
+
+    # Fresh analyzer per repeat so per-instance memo caches start cold,
+    # matching the legacy and parallel runs.
+    seq_s, seq = _time_run(
+        lambda: WeblogAnalyzer(directory).analyze(rows), repeats
+    )
+    records.append(
+        {
+            "mode": "sequential-single-pass",
+            "workers": 1,
+            "seconds": round(seq_s, 4),
+            "rows_per_sec": round(n_rows / seq_s, 1),
+            "peak_observations": len(seq.observations),
+            "speedup_vs_dual_pass": round(legacy_s / seq_s, 2),
+        }
+    )
+
+    for workers in workers_list:
+        par_s, par = _time_run(
+            lambda w=workers: analyze_parallel(
+                rows, directory, workers=w, chunk_size=chunk_size
+            ),
+            repeats,
+        )
+        assert par.observations == seq.observations, (
+            f"parallel(workers={workers}) diverged from sequential result"
+        )
+        records.append(
+            {
+                "mode": "parallel",
+                "workers": workers,
+                "chunk_size": chunk_size,
+                "seconds": round(par_s, 4),
+                "rows_per_sec": round(n_rows / par_s, 1),
+                "peak_observations": len(par.observations),
+                "speedup_vs_sequential": round(seq_s / par_s, 2),
+            }
+        )
+
+    return {
+        "benchmark": "parallel_analyzer",
+        "n_rows": n_rows,
+        "cpu_count": os.cpu_count(),
+        "runs": records,
+    }
+
+
+def _render(record: dict) -> list[str]:
+    lines = [
+        "Sharded parallel analyzer throughput "
+        f"({record['n_rows']:,} rows, {record['cpu_count']} CPUs):",
+        "",
+        f"{'mode':<24} {'workers':>7} {'rows/sec':>12} {'speedup':>8}",
+    ]
+    for run in record["runs"]:
+        speed = run.get("speedup_vs_sequential", run.get("speedup_vs_dual_pass", ""))
+        lines.append(
+            f"{run['mode']:<24} {run['workers']:>7} "
+            f"{run['rows_per_sec']:>12,.1f} {str(speed):>8}"
+        )
+    lines.append("")
+    lines.append(
+        "speedup: vs the single-pass sequential baseline (the "
+        "single-pass row shows its win over the legacy dual-pass)."
+    )
+    return lines
+
+
+# -- pytest entry point ------------------------------------------------------
+
+def test_parallel_analyzer_throughput(benchmark, dataset_d, directory):
+    from .conftest import emit
+
+    rows = list(dataset_d.rows)
+    analyzer = WeblogAnalyzer(directory)
+    seq = benchmark(lambda: analyzer.analyze(rows))
+    record = run_matrix(rows, directory)
+    emit("parallel_analyzer", _render(record) + ["", json.dumps(record)])
+    for run in record["runs"]:
+        if run["mode"] == "parallel":
+            assert run["peak_observations"] == len(seq.observations)
+    # Throughput accounting must cover every row exactly once.
+    assert sum(seq.traffic_counts.values()) == len(rows)
+
+
+# -- standalone script -------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="fraction of paper-scale dataset D (default 0.2)")
+    parser.add_argument("--seed", type=int, default=20151231)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--chunk-size", type=int, default=20_000)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats (default 3)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the JSON record to this path")
+    args = parser.parse_args(argv)
+
+    from repro.trace.simulate import default_config, simulate_dataset
+
+    config = default_config()
+    if args.scale < 0.999:
+        config = config.scaled(args.scale)
+    print(f"simulating dataset D at scale {args.scale}...", file=sys.stderr)
+    dataset = simulate_dataset(config)
+    directory = PublisherDirectory.from_universe(dataset.universe)
+
+    record = run_matrix(
+        dataset.rows, directory,
+        workers_list=tuple(args.workers), chunk_size=args.chunk_size,
+        repeats=args.repeats,
+    )
+    print("\n".join(_render(record)), file=sys.stderr)
+    print(json.dumps(record, indent=2))
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(record, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

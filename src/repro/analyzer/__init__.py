@@ -20,6 +20,7 @@ from repro.analyzer.blacklist import (
 from repro.analyzer.detector import (
     DetectedNotification,
     classify_rows,
+    count_url_params,
     detect_notifications,
     is_sync_beacon,
     is_web_beacon,
@@ -37,7 +38,13 @@ from repro.analyzer.interests import (
     infer_interests,
     visited_publishers,
 )
-from repro.analyzer.pipeline import AnalysisResult, PriceObservation, WeblogAnalyzer
+from repro.analyzer.parallel import analyze_parallel, merge_partials, shard_of
+from repro.analyzer.pipeline import (
+    AnalysisResult,
+    PriceObservation,
+    WeblogAnalyzer,
+    scan_rows_single_pass,
+)
 from repro.analyzer.useragent import ParsedUserAgent, parse_user_agent
 
 __all__ = [
@@ -52,6 +59,11 @@ __all__ = [
     "DetectedNotification",
     "detect_notifications",
     "classify_rows",
+    "count_url_params",
+    "analyze_parallel",
+    "merge_partials",
+    "shard_of",
+    "scan_rows_single_pass",
     "is_sync_beacon",
     "is_web_beacon",
     "FeatureExtractor",

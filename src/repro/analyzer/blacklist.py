@@ -44,6 +44,10 @@ class DomainBlacklist:
     analytics: set[str] = field(default_factory=set)
     social: set[str] = field(default_factory=set)
     third_party: set[str] = field(default_factory=set)
+    #: Per-instance memo of classify(); a weblog repeats the same few
+    #: thousand domains millions of times, so the suffix walk is paid
+    #: once per distinct domain.  Invalidated on mutation.
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     def _matches(self, domain: str, entries: set[str]) -> bool:
         if domain in entries:
@@ -56,16 +60,23 @@ class DomainBlacklist:
 
     def classify(self, domain: str) -> str:
         """Group label for one domain (``rest`` when unlisted)."""
+        group = self._memo.get(domain)
+        if group is not None:
+            return group
+        key = domain
         domain = domain.lower().strip()
         if self._matches(domain, self.advertising):
-            return GROUP_ADVERTISING
-        if self._matches(domain, self.analytics):
-            return GROUP_ANALYTICS
-        if self._matches(domain, self.social):
-            return GROUP_SOCIAL
-        if self._matches(domain, self.third_party):
-            return GROUP_THIRD_PARTY
-        return GROUP_REST
+            group = GROUP_ADVERTISING
+        elif self._matches(domain, self.analytics):
+            group = GROUP_ANALYTICS
+        elif self._matches(domain, self.social):
+            group = GROUP_SOCIAL
+        elif self._matches(domain, self.third_party):
+            group = GROUP_THIRD_PARTY
+        else:
+            group = GROUP_REST
+        self._memo[key] = group
+        return group
 
     def merge(self, other: "DomainBlacklist") -> "DomainBlacklist":
         """Union of two blacklists (integrating a second list)."""
@@ -78,6 +89,7 @@ class DomainBlacklist:
 
     def add_advertising(self, domain: str) -> None:
         self.advertising.add(domain.lower())
+        self._memo.clear()
 
     def __len__(self) -> int:
         return (

@@ -19,6 +19,16 @@ from repro.rtb.nurl import ParsedNotification, parse_nurl
 from repro.trace.weblog import HttpRequest
 
 
+def count_url_params(url: str) -> int:
+    """Number of query parameters in a URL (a Table-4 ad feature).
+
+    Free function so both the batch pipeline and the streaming analyzer
+    can compute it without constructing a throwaway
+    :class:`DetectedNotification`.
+    """
+    return len(parse_qsl(urlparse(url).query, keep_blank_values=True))
+
+
 @dataclass(frozen=True)
 class DetectedNotification:
     """One win notification found in the weblog."""
@@ -37,7 +47,7 @@ class DetectedNotification:
     @property
     def n_url_params(self) -> int:
         """Number of query parameters (a Table-4 ad feature)."""
-        return len(parse_qsl(urlparse(self.row.url).query, keep_blank_values=True))
+        return count_url_params(self.row.url)
 
 
 def detect_notifications(

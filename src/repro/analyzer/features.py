@@ -30,7 +30,7 @@ from repro.analyzer.detector import (
     is_web_beacon,
 )
 from repro.analyzer.geoip import GeoIpResolver
-from repro.analyzer.interests import PublisherDirectory, infer_interests
+from repro.analyzer.interests import PublisherDirectory
 from repro.analyzer.useragent import parse_user_agent
 from repro.rtb.iab import DATASET_CATEGORIES, InterestProfile
 from repro.trace.weblog import HttpRequest
@@ -76,6 +76,26 @@ class UserAggregates:
     def avg_duration_per_request(self) -> float:
         return self.total_duration_ms / self.n_requests if self.n_requests else 0.0
 
+    def merge_from(self, later: "UserAggregates") -> None:
+        """Fold a *later* partial (same user, subsequent rows) into this one.
+
+        Counters and sets are order-independent; the ``os`` /
+        ``device_type`` fields keep the sequential "last informative row
+        wins" semantics, so ``later`` must really come after ``self`` in
+        weblog order.
+        """
+        self.n_requests += later.n_requests
+        self.total_bytes += later.total_bytes
+        self.total_duration_ms += later.total_duration_ms
+        self.n_syncs += later.n_syncs
+        self.n_beacons += later.n_beacons
+        self.content_domains |= later.content_domains
+        self.cities |= later.cities
+        if later.os != "Other":
+            self.os = later.os
+        if later.device_type != "unknown":
+            self.device_type = later.device_type
+
 
 @dataclass
 class AdvertiserAggregates:
@@ -94,14 +114,37 @@ class AdvertiserAggregates:
     def avg_duration(self) -> float:
         return self.total_duration_ms / self.n_requests if self.n_requests else 0.0
 
+    def merge_from(self, other: "AdvertiserAggregates") -> None:
+        """Fold another partial for the same advertiser into this one."""
+        self.n_requests += other.n_requests
+        self.total_bytes += other.total_bytes
+        self.total_duration_ms += other.total_duration_ms
+        self.users |= other.users
+
 
 class FeatureExtractor:
-    """Precomputes aggregates over a weblog, then vectorises notifications."""
+    """Precomputes aggregates over a weblog, then vectorises notifications.
+
+    Two construction modes:
+
+    * the classic batch constructor scans ``rows`` and ``notifications``
+      eagerly (classifying each row itself), preserving the original
+      API;
+    * :meth:`incremental` returns an empty extractor that the
+      single-pass and sharded analyzers feed row-by-row via
+      :meth:`ingest_row` / :meth:`ingest_notification` (the *caller*
+      supplies each row's blacklist group, so classification happens
+      exactly once per row), then seal with :meth:`finalize_interests`.
+
+    Partial extractors built over disjoint slices of a weblog can be
+    recombined with :meth:`merge_from`; merging partials of the same
+    shard in weblog order reproduces the sequential state exactly.
+    """
 
     def __init__(
         self,
         rows: Iterable[HttpRequest],
-        notifications: list[DetectedNotification],
+        notifications: Iterable[DetectedNotification],
         blacklist: DomainBlacklist,
         directory: PublisherDirectory,
         geoip: GeoIpResolver | None = None,
@@ -114,48 +157,99 @@ class FeatureExtractor:
             AdvertiserAggregates
         )
         self.campaign_counts: Counter[str] = Counter()
-        self._scan_rows(rows)
-        self._scan_notifications(notifications)
-
-    def _scan_rows(self, rows: Iterable[HttpRequest]) -> None:
-        content_rows: dict[str, list[HttpRequest]] = defaultdict(list)
+        #: Raw per-user interest-category visit counts.  Kept as counts
+        #: (not profiles) so partial extractors merge exactly; turned
+        #: into :class:`InterestProfile` by :meth:`finalize_interests`.
+        self._interest_counts: dict[str, Counter[str]] = defaultdict(Counter)
         for row in rows:
-            agg = self.users[row.user_id]
+            self.ingest_row(row, self.blacklist.classify(row.domain))
+        for det in notifications:
+            self.ingest_notification(det)
+        self.finalize_interests()
+
+    @classmethod
+    def incremental(
+        cls,
+        blacklist: DomainBlacklist,
+        directory: PublisherDirectory,
+        geoip: GeoIpResolver | None = None,
+    ) -> "FeatureExtractor":
+        """An empty extractor ready for :meth:`ingest_row` feeding."""
+        return cls((), (), blacklist, directory, geoip)
+
+    # -- incremental ingestion -----------------------------------------------
+
+    def ingest_row(self, row: HttpRequest, group: str) -> None:
+        """Fold one weblog row, pre-classified as ``group``, into the
+        per-user aggregates (classification is the caller's job so it is
+        paid exactly once per row on the single-pass path)."""
+        agg = self.users[row.user_id]
+        agg.n_requests += 1
+        agg.total_bytes += row.bytes_transferred
+        agg.total_duration_ms += row.duration_ms
+        if is_sync_beacon(row):
+            agg.n_syncs += 1
+        elif is_web_beacon(row):
+            agg.n_beacons += 1
+        lookup = self.geoip.lookup(row.client_ip)
+        if lookup.resolved:
+            agg.cities.add(lookup.city)
+        if group == GROUP_REST:
+            agg.content_domains.add(row.domain)
+            category = self.directory.category_of(row.domain)
+            if category is not None:
+                self._interest_counts[row.user_id][category] += 1
+        ua = parse_user_agent(row.user_agent)
+        if ua.os != "Other":
+            agg.os = ua.os
+        if ua.device_type != "unknown":
+            agg.device_type = ua.device_type
+
+    def ingest_notification(self, det: DetectedNotification) -> None:
+        """Fold one detected win notification into advertiser/campaign
+        aggregates."""
+        advertiser = det.parsed.params.get("ad_domain", "")
+        if advertiser:
+            agg = self.advertisers[advertiser]
             agg.n_requests += 1
-            agg.total_bytes += row.bytes_transferred
-            agg.total_duration_ms += row.duration_ms
-            if is_sync_beacon(row):
-                agg.n_syncs += 1
-            elif is_web_beacon(row):
-                agg.n_beacons += 1
-            lookup = self.geoip.lookup(row.client_ip)
-            if lookup.resolved:
-                agg.cities.add(lookup.city)
-            if self.blacklist.classify(row.domain) == GROUP_REST:
-                agg.content_domains.add(row.domain)
-                content_rows[row.user_id].append(row)
-            ua = parse_user_agent(row.user_agent)
-            if ua.os != "Other":
-                agg.os = ua.os
-            if ua.device_type != "unknown":
-                agg.device_type = ua.device_type
-        for user_id, rows_for_user in content_rows.items():
-            self.users[user_id].interests = infer_interests(
-                rows_for_user, self.directory
+            agg.total_bytes += det.row.bytes_transferred
+            agg.total_duration_ms += det.row.duration_ms
+            agg.users.add(det.user_id)
+        campaign = det.parsed.campaign_id
+        if campaign:
+            self.campaign_counts[campaign] += 1
+
+    def finalize_interests(self) -> None:
+        """Materialise interest profiles from the accumulated counts.
+
+        Idempotent: safe to call again after further ingestion or
+        merging (profiles are recomputed from the raw counts).
+        """
+        for user_id, counts in self._interest_counts.items():
+            self.users[user_id].interests = InterestProfile.from_counts(
+                dict(counts)
             )
 
-    def _scan_notifications(self, notifications: list[DetectedNotification]) -> None:
-        for det in notifications:
-            advertiser = det.parsed.params.get("ad_domain", "")
-            if advertiser:
-                agg = self.advertisers[advertiser]
-                agg.n_requests += 1
-                agg.total_bytes += det.row.bytes_transferred
-                agg.total_duration_ms += det.row.duration_ms
-                agg.users.add(det.user_id)
-            campaign = det.parsed.campaign_id
-            if campaign:
-                self.campaign_counts[campaign] += 1
+    def merge_from(self, later: "FeatureExtractor") -> None:
+        """Fold a *later* partial extractor into this one.
+
+        ``later`` must cover rows that come after this extractor's rows
+        in weblog order for any user both have seen (last-wins fields);
+        call :meth:`finalize_interests` once merging is complete.
+        """
+        for user_id, agg in later.users.items():
+            if user_id in self.users:
+                self.users[user_id].merge_from(agg)
+            else:
+                self.users[user_id] = agg
+        for advertiser, agg in later.advertisers.items():
+            if advertiser in self.advertisers:
+                self.advertisers[advertiser].merge_from(agg)
+            else:
+                self.advertisers[advertiser] = agg
+        self.campaign_counts.update(later.campaign_counts)
+        for user_id, counts in later._interest_counts.items():
+            self._interest_counts[user_id].update(counts)
 
     # -- vectorisation -------------------------------------------------------
 

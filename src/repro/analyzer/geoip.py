@@ -37,10 +37,22 @@ class GeoIpResolver:
         if table is None:
             table = {f"85.{c.ip_block}": (c.name, "ES") for c in CITIES}
         self._table = dict(table)
+        # Per-instance memo: a weblog repeats each client IP thousands
+        # of times and lookups are pure over the fixed table, so the
+        # octet parse + prefix match is paid once per distinct IP.
+        self._memo: dict[str, GeoLookup] = {}
 
     def lookup(self, ip: str) -> GeoLookup:
         """Resolve an IPv4 string; unknown networks yield an unresolved
         result rather than raising (real GeoIP misses happen)."""
+        cached = self._memo.get(ip)
+        if cached is not None:
+            return cached
+        result = self._lookup_uncached(ip)
+        self._memo[ip] = result
+        return result
+
+    def _lookup_uncached(self, ip: str) -> GeoLookup:
         parts = ip.split(".") if ip else []
         if len(parts) != 4:
             return GeoLookup(ip=ip, city=None, country=None)

@@ -14,16 +14,17 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.analyzer.blacklist import DomainBlacklist, default_blacklist
-from repro.analyzer.detector import (
-    DetectedNotification,
-    classify_rows,
-    detect_notifications,
+from repro.analyzer.blacklist import (
+    GROUP_ADVERTISING,
+    DomainBlacklist,
+    default_blacklist,
 )
+from repro.analyzer.detector import DetectedNotification
 from repro.analyzer.features import FeatureExtractor
 from repro.analyzer.geoip import GeoIpResolver
 from repro.analyzer.interests import PublisherDirectory
 from repro.analyzer.useragent import parse_user_agent
+from repro.rtb.nurl import parse_nurl
 from repro.trace.weblog import HttpRequest
 from repro.util.timeutil import month_of, year_of
 
@@ -60,12 +61,30 @@ class PriceObservation:
 
 @dataclass
 class AnalysisResult:
-    """Everything one analyzer pass produces."""
+    """Everything one analyzer pass produces.
+
+    ``extractor`` is ``None`` for results adapted from a streaming
+    snapshot (:meth:`repro.analyzer.stream.StreamingAnalyzer.snapshot_result`):
+    a real-time deployment computes per-notification features at
+    observation time and cannot rebuild them retroactively.  Use
+    :meth:`features` for a guarded accessor with a clear error.
+    """
 
     observations: list[PriceObservation]
     traffic_counts: Counter
-    extractor: FeatureExtractor
+    extractor: FeatureExtractor | None = None
     notifications: list[DetectedNotification] = field(default_factory=list)
+
+    def features(self) -> FeatureExtractor:
+        """The feature extractor, or a clear error for streaming snapshots."""
+        if self.extractor is None:
+            raise RuntimeError(
+                "this AnalysisResult is a streaming snapshot and carries no "
+                "FeatureExtractor: per-notification features must be computed "
+                "at observation time (see StreamingAnalyzer.user_state), not "
+                "retroactively"
+            )
+        return self.extractor
 
     # -- basic selections ------------------------------------------------
 
@@ -103,6 +122,8 @@ class AnalysisResult:
         """Per-ADX share of all RTB notifications -- Figure 3 x-axis."""
         counts = Counter(o.adx for o in self.observations)
         total = sum(counts.values())
+        if total == 0:
+            return {}
         return {adx: n / total for adx, n in counts.most_common()}
 
     def entity_cleartext_shares(self) -> dict[str, float]:
@@ -137,11 +158,50 @@ class AnalysisResult:
         return dict(out)
 
     def per_user_cleartext_totals(self) -> dict[str, float]:
-        """Sum of cleartext prices per user (CPM units)."""
+        """Sum of cleartext prices per user (CPM units).
+
+        Cleartext observations whose price failed to parse carry
+        ``price_cpm=None``; they are skipped (matching
+        :meth:`cleartext_prices`) rather than crashing the sum.
+        """
         totals: dict[str, float] = defaultdict(float)
         for obs in self.cleartext():
-            totals[obs.user_id] += obs.price_cpm
+            if obs.price_cpm is not None:
+                totals[obs.user_id] += obs.price_cpm
         return dict(totals)
+
+
+def scan_rows_single_pass(
+    indexed_rows: Iterable[tuple[int, HttpRequest]],
+    blacklist: DomainBlacklist,
+    extractor: FeatureExtractor,
+) -> tuple[Counter, list[tuple[int, DetectedNotification]]]:
+    """One classification per row, fanned out to every consumer.
+
+    The shared single-pass core of both the sequential analyzer and the
+    sharded parallel workers (:mod:`repro.analyzer.parallel`).  Each row
+    is classified exactly once; the resulting group simultaneously
+    feeds (a) the 5-group traffic histogram, (b) nURL win-notification
+    detection, and (c) the feature extractor's per-user aggregates.
+
+    ``indexed_rows`` carries each row's global weblog position so
+    sharded runs can restore the sequential emission order; returns the
+    traffic histogram and the indexed detections (the caller finalises
+    the extractor once all of a shard's chunks are in).
+    """
+    traffic_counts: Counter = Counter()
+    notifications: list[tuple[int, DetectedNotification]] = []
+    for index, row in indexed_rows:
+        group = blacklist.classify(row.domain)
+        traffic_counts[group] += 1
+        extractor.ingest_row(row, group)
+        if group == GROUP_ADVERTISING:
+            parsed = parse_nurl(row.url)
+            if parsed is not None:
+                det = DetectedNotification(row=row, parsed=parsed)
+                extractor.ingest_notification(det)
+                notifications.append((index, det))
+    return traffic_counts, notifications
 
 
 class WeblogAnalyzer:
@@ -157,14 +217,42 @@ class WeblogAnalyzer:
         self.blacklist = blacklist or default_blacklist()
         self.geoip = geoip or GeoIpResolver()
 
-    def analyze(self, rows: Iterable[HttpRequest]) -> AnalysisResult:
-        """Run the full pipeline over weblog rows."""
-        rows = list(rows)
-        traffic_counts = classify_rows(rows, self.blacklist)
-        notifications = list(detect_notifications(rows, self.blacklist))
-        extractor = FeatureExtractor(
-            rows, notifications, self.blacklist, self.directory, self.geoip
+    def analyze(
+        self,
+        rows: Iterable[HttpRequest],
+        *,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> AnalysisResult:
+        """Run the full pipeline over weblog rows.
+
+        Single-pass: ``rows`` may be any iterable (including the
+        :func:`repro.io.iter_weblog_csv` generator) and is consumed
+        exactly once without being materialised; every domain is
+        classified exactly once.  With ``workers > 1`` the work is
+        sharded by ``user_id`` hash across processes (see
+        :func:`repro.analyzer.parallel.analyze_parallel`) and the merged
+        result is identical to the sequential one.
+        """
+        if workers is not None and workers > 1:
+            from repro.analyzer.parallel import analyze_parallel
+
+            return analyze_parallel(
+                rows,
+                self.directory,
+                blacklist=self.blacklist,
+                geoip=self.geoip,
+                workers=workers,
+                chunk_size=chunk_size or 50_000,
+            )
+        extractor = FeatureExtractor.incremental(
+            self.blacklist, self.directory, self.geoip
         )
+        traffic_counts, indexed = scan_rows_single_pass(
+            enumerate(rows), self.blacklist, extractor
+        )
+        extractor.finalize_interests()
+        notifications = [det for _, det in indexed]
         observations = [
             self._to_observation(det, extractor) for det in notifications
         ]

@@ -31,8 +31,8 @@ from repro.analyzer.blacklist import (
     DomainBlacklist,
     default_blacklist,
 )
-from repro.analyzer.detector import DetectedNotification, is_sync_beacon, is_web_beacon
-from repro.analyzer.geoip import GeoIpResolver
+from repro.analyzer.detector import count_url_params, is_sync_beacon, is_web_beacon
+from repro.analyzer.geoip import GeoIpResolver, GeoLookup
 from repro.analyzer.interests import PublisherDirectory
 from repro.analyzer.pipeline import PriceObservation
 from repro.analyzer.useragent import parse_user_agent
@@ -76,6 +76,17 @@ class StreamingAnalyzer:
         self.traffic_counts: Counter = Counter()
         self.observations: list[PriceObservation] = []
         self.rows_seen = 0
+        # Per-IP memo of geoip.lookup: a user's rows repeat the same
+        # client IP thousands of times, and non-advertising rows should
+        # not pay resolution cost on every request.
+        self._geo_cache: dict[str, GeoLookup] = {}
+
+    def _lookup_cached(self, ip: str) -> GeoLookup:
+        lookup = self._geo_cache.get(ip)
+        if lookup is None:
+            lookup = self.geoip.lookup(ip)
+            self._geo_cache[ip] = lookup
+        return lookup
 
     def process(self, row: HttpRequest) -> PriceObservation | None:
         """Consume one row; returns the observation when it was a nURL."""
@@ -91,7 +102,7 @@ class StreamingAnalyzer:
             state.n_syncs += 1
         elif is_web_beacon(row):
             state.n_beacons += 1
-        lookup = self.geoip.lookup(row.client_ip)
+        lookup = self._lookup_cached(row.client_ip)
         if lookup.resolved:
             state.cities.add(lookup.city)
         if group == GROUP_REST:
@@ -116,6 +127,16 @@ class StreamingAnalyzer:
             if observation is not None:
                 yield observation
 
+    def process_file(self, path) -> Iterator[PriceObservation]:
+        """Stream a weblog CSV(.gz) straight off disk with bounded memory.
+
+        Couples the analyzer to :func:`repro.io.iter_weblog_csv`: one
+        row in flight at a time, observations yielded as they appear.
+        """
+        from repro.io import iter_weblog_csv  # local: io imports pipeline
+
+        yield from self.process_many(iter_weblog_csv(path))
+
     def _to_observation(self, row, parsed, lookup) -> PriceObservation:
         ua = parse_user_agent(row.user_agent)
         publisher = parsed.params.get("pub_name", "")
@@ -136,7 +157,7 @@ class StreamingAnalyzer:
             device_type=ua.device_type,
             context=ua.context,
             campaign_id=parsed.campaign_id or "",
-            n_url_params=DetectedNotification(row=row, parsed=parsed).n_url_params,
+            n_url_params=count_url_params(row.url),
         )
 
     # -- adapters --------------------------------------------------------
@@ -146,16 +167,19 @@ class StreamingAnalyzer:
 
         The returned object supports the aggregation methods downstream
         code uses (``cleartext``, ``encrypted``, ``entity_rtb_shares``,
-        ...).  The feature extractor is not included: per-notification
-        feature vectors in a streaming deployment must be computed at
-        observation time (see :meth:`user_state`), not retroactively.
+        ...).  The feature extractor is not included
+        (``extractor=None``, an explicit part of the
+        :class:`AnalysisResult` contract): per-notification feature
+        vectors in a streaming deployment must be computed at
+        observation time (see :meth:`user_state`), not retroactively --
+        ``AnalysisResult.features()`` raises a descriptive error.
         """
         from repro.analyzer.pipeline import AnalysisResult
 
         return AnalysisResult(
             observations=list(self.observations),
             traffic_counts=Counter(self.traffic_counts),
-            extractor=None,  # type: ignore[arg-type] -- documented above
+            extractor=None,
             notifications=[],
         )
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 
 OS_ANDROID = "Android"
 OS_IOS = "iOS"
@@ -36,11 +37,16 @@ class ParsedUserAgent:
         return "app" if self.is_app else "web"
 
 
+@lru_cache(maxsize=8192)
 def parse_user_agent(ua: str) -> ParsedUserAgent:
     """Classify one User-Agent string.
 
     Unknown strings degrade gracefully to (Other, unknown, web) rather
     than raising: a weblog contains plenty of exotic agents.
+
+    Memoised: UA strings repeat per device for months, the parse is
+    pure, and the result is frozen -- so the analyzer's per-row parse
+    cost collapses to a dict hit on the hot path.
     """
     raw = ua or ""
 

@@ -15,7 +15,8 @@ Examples::
     python -m repro.cli simulate --scale 0.05 --out weblog.csv.gz \
         --directory directory.csv
     python -m repro.cli analyze --weblog weblog.csv.gz \
-        --directory directory.csv --out observations.csv
+        --directory directory.csv --out observations.csv \
+        --workers 4 --chunk-size 50000
     python -m repro.cli pipeline --scale 0.05 --model model.json.gz
     python -m repro.cli estimate --model model.json.gz \
         --features '{"context": "app", "publisher_iab": "IAB3", ...}'
@@ -31,7 +32,6 @@ from collections import Counter
 from repro.io import (
     load_model_package,
     read_directory_csv,
-    read_weblog_csv,
     save_model_package,
     write_directory_csv,
     write_observations_csv,
@@ -69,12 +69,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analyzer.pipeline import WeblogAnalyzer
+    from repro.io import iter_weblog_csv
 
-    rows = read_weblog_csv(args.weblog)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.chunk_size < 1:
+        print("error: --chunk-size must be >= 1", file=sys.stderr)
+        return 2
     directory = read_directory_csv(args.directory)
-    analysis = WeblogAnalyzer(directory).analyze(rows)
+    # Stream straight off disk: the single-pass analyzer (and the
+    # sharded parallel path behind --workers) never materialise the log.
+    rows = iter_weblog_csv(args.weblog)
+    analysis = WeblogAnalyzer(directory).analyze(
+        rows, workers=args.workers, chunk_size=args.chunk_size
+    )
+    n_rows = sum(analysis.traffic_counts.values())
     count = write_observations_csv(analysis.observations, args.out)
-    print(f"analyzed {len(rows):,} rows -> {count:,} price observations ({args.out})")
+    print(f"analyzed {n_rows:,} rows -> {count:,} price observations ({args.out})")
     encrypted = len(analysis.encrypted())
     print(
         json.dumps(
@@ -158,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--weblog", required=True)
     p_an.add_argument("--directory", required=True)
     p_an.add_argument("--out", required=True, help="observations CSV path")
+    p_an.add_argument("--workers", type=int, default=1,
+                      help="analysis processes; >1 shards rows by user "
+                           "hash across a multiprocessing pool (default 1)")
+    p_an.add_argument("--chunk-size", type=int, default=50_000,
+                      help="rows dispatched to a worker per task; bounds "
+                           "coordinator memory (default 50000)")
     p_an.set_defaults(func=_cmd_analyze)
 
     p_pipe = sub.add_parser("pipeline", help="simulate + analyze + train")

@@ -57,29 +57,65 @@ def write_weblog_csv(rows: Iterable[HttpRequest], path: str | Path) -> int:
     return count
 
 
-def read_weblog_csv(path: str | Path) -> list[HttpRequest]:
-    """Read weblog rows written by :func:`write_weblog_csv`."""
-    rows = []
+def _weblog_row_from_record(record: dict[str, str]) -> HttpRequest:
+    return HttpRequest(
+        timestamp=float(record["timestamp"]),
+        user_id=record["user_id"],
+        url=record["url"],
+        domain=record["domain"],
+        user_agent=record["user_agent"],
+        kind=record["kind"],
+        bytes_transferred=int(record["bytes_transferred"]),
+        duration_ms=float(record["duration_ms"]),
+        client_ip=record["client_ip"],
+    )
+
+
+def iter_weblog_csv(path: str | Path):
+    """Stream weblog rows written by :func:`write_weblog_csv`.
+
+    A generator: one CSV record is in memory at a time, so arbitrarily
+    large (gzipped) weblogs can feed the single-pass and sharded
+    analyzers without ever being materialised.  Yields
+    :class:`HttpRequest` rows in file order.
+    """
     with _open_text(path, "r") as handle:
         reader = csv.DictReader(handle)
         missing = set(_WEBLOG_FIELDS) - set(reader.fieldnames or ())
         if missing:
             raise ValueError(f"weblog CSV missing columns: {sorted(missing)}")
         for record in reader:
-            rows.append(
-                HttpRequest(
-                    timestamp=float(record["timestamp"]),
-                    user_id=record["user_id"],
-                    url=record["url"],
-                    domain=record["domain"],
-                    user_agent=record["user_agent"],
-                    kind=record["kind"],
-                    bytes_transferred=int(record["bytes_transferred"]),
-                    duration_ms=float(record["duration_ms"]),
-                    client_ip=record["client_ip"],
-                )
-            )
-    return rows
+            yield _weblog_row_from_record(record)
+
+
+def read_weblog_chunks(
+    path: str | Path, chunk_size: int = 50_000
+):
+    """Stream weblog rows in bounded ``chunk_size`` batches.
+
+    The chunked form of :func:`iter_weblog_csv` for consumers that want
+    amortised per-batch dispatch (e.g. feeding a worker pool) while
+    still never holding more than one chunk.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunk: list[HttpRequest] = []
+    for row in iter_weblog_csv(path):
+        chunk.append(row)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def read_weblog_csv(path: str | Path) -> list[HttpRequest]:
+    """Read weblog rows written by :func:`write_weblog_csv`.
+
+    Materialises the whole file; prefer :func:`iter_weblog_csv` /
+    :func:`read_weblog_chunks` on large logs.
+    """
+    return list(iter_weblog_csv(path))
 
 
 def write_observations_csv(

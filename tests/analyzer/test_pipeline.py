@@ -118,6 +118,76 @@ class TestAggregations:
         assert sum(analysis.traffic_counts.values()) == dataset.n_rows
 
 
+class TestAggregationRegressions:
+    """Regression coverage for crashes on degenerate inputs."""
+
+    @staticmethod
+    def _result(observations):
+        from collections import Counter
+
+        from repro.analyzer.pipeline import AnalysisResult
+
+        return AnalysisResult(
+            observations=observations, traffic_counts=Counter(), extractor=None
+        )
+
+    @staticmethod
+    def _obs(user_id="u1", price=1.0, encrypted=False):
+        from repro.analyzer.pipeline import PriceObservation
+
+        return PriceObservation(
+            timestamp=1_420_070_400.0, user_id=user_id, adx="MoPub",
+            dsp="dsp1", is_encrypted=encrypted, price_cpm=price,
+            encrypted_token="tok" if encrypted else None, slot_size="320x50",
+            publisher="pub.example", publisher_iab="IAB3", city="Madrid",
+            os="Android", device_type="smartphone", context="app",
+            campaign_id="c1", n_url_params=7,
+        )
+
+    def test_per_user_totals_skip_missing_prices(self):
+        """A cleartext observation whose price failed to parse
+        (price_cpm=None) must be skipped, not TypeError the sum."""
+        result = self._result(
+            [
+                self._obs(price=2.0),
+                self._obs(price=None),       # unparseable cleartext price
+                self._obs(price=3.5),
+                self._obs(price=None, encrypted=True),
+            ]
+        )
+        assert result.per_user_cleartext_totals() == {"u1": 5.5}
+
+    def test_per_user_totals_all_missing_prices(self):
+        # Filter semantics match cleartext_prices(): a user with only
+        # unparseable cleartext prices contributes no entry at all.
+        result = self._result([self._obs(price=None)])
+        assert result.per_user_cleartext_totals() == {}
+
+    def test_empty_result_rtb_shares(self):
+        """entity_rtb_shares on an empty analysis must return {} like
+        its sibling, not ZeroDivisionError."""
+        result = self._result([])
+        assert result.entity_rtb_shares() == {}
+
+    def test_empty_result_cleartext_shares(self):
+        result = self._result([])
+        assert result.entity_cleartext_shares() == {}
+
+    def test_empty_result_other_aggregations(self):
+        result = self._result([])
+        assert result.monthly_pair_encryption() == {}
+        assert result.monthly_os_counts() == {}
+        assert result.per_user_cleartext_totals() == {}
+
+    def test_features_guard_on_missing_extractor(self):
+        result = self._result([])
+        with pytest.raises(RuntimeError, match="streaming snapshot"):
+            result.features()
+
+    def test_features_returns_extractor_when_present(self, analysis):
+        assert analysis.features() is analysis.extractor
+
+
 class TestInterestInference:
     def test_inferred_close_to_generative(self, dataset, analysis):
         """Interest profiles recovered from browsing should usually rank

@@ -6,6 +6,7 @@ from repro.analyzer.interests import PublisherDirectory
 from repro.analyzer.pipeline import WeblogAnalyzer
 from repro.analyzer.stream import StreamingAnalyzer
 from repro.trace.simulate import simulate_dataset, small_config
+from repro.trace.weblog import HttpRequest
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +54,66 @@ class TestStreamingEquivalence:
         assert len(result.cleartext()) + len(result.encrypted()) == len(observations)
         shares = result.entity_rtb_shares()
         assert max(shares, key=shares.get) == "MoPub"
+
+
+class TestStreamingSnapshotContract:
+    def test_snapshot_extractor_is_explicit_none(self, streamed):
+        analyzer, _ = streamed
+        result = analyzer.snapshot_result()
+        assert result.extractor is None
+
+    def test_snapshot_feature_access_raises_clearly(self, streamed):
+        """Feature access on a streaming snapshot must fail with a
+        descriptive error, not an AttributeError on None."""
+        analyzer, _ = streamed
+        result = analyzer.snapshot_result()
+        with pytest.raises(RuntimeError, match="streaming snapshot"):
+            result.features()
+
+    def test_n_url_params_matches_batch_detector(self, dataset, directory, streamed):
+        """The hoisted count_url_params helper must agree with the
+        DetectedNotification property the batch path uses."""
+        from repro.analyzer.pipeline import WeblogAnalyzer
+
+        _, observations = streamed
+        batch = WeblogAnalyzer(directory).analyze(dataset.rows)
+        assert sorted(o.n_url_params for o in observations) == sorted(
+            o.n_url_params for o in batch.observations
+        )
+
+    def test_count_url_params_free_function(self):
+        from repro.analyzer.detector import count_url_params
+
+        assert count_url_params("http://x.test/p?a=1&b=&c=3") == 3
+        assert count_url_params("http://x.test/p") == 0
+
+
+class TestGeoCache:
+    def test_repeated_ips_resolve_once(self, directory):
+        """Non-advertising rows from the same client IP must not pay
+        geo resolution cost on every request."""
+        from repro.analyzer.geoip import GeoIpResolver
+
+        class CountingResolver(GeoIpResolver):
+            def __init__(self):
+                super().__init__()
+                self.calls = 0
+
+            def lookup(self, ip):
+                self.calls += 1
+                return super().lookup(ip)
+
+        resolver = CountingResolver()
+        analyzer = StreamingAnalyzer(directory, geoip=resolver)
+        row = HttpRequest(
+            timestamp=1_420_070_400.0, user_id="u1",
+            url="http://portal.example.es/", domain="portal.example.es",
+            user_agent="Mozilla/5.0 (Linux; Android 5.0)", kind="content",
+            bytes_transferred=1000, duration_ms=10.0, client_ip="85.1.0.1",
+        )
+        for _ in range(50):
+            analyzer.process(row)
+        assert resolver.calls == 1
 
 
 class TestOnlineSemantics:

@@ -135,6 +135,38 @@ class TestCli:
         assert "price observations" in out
         assert read_observations_csv(observations)
 
+    def test_analyze_parallel_workers_match_sequential(self, tmp_path, capsys):
+        weblog = tmp_path / "weblog.csv.gz"
+        directory = tmp_path / "dir.csv"
+        obs_seq = tmp_path / "obs_seq.csv"
+        obs_par = tmp_path / "obs_par.csv"
+        assert main([
+            "simulate", "--scale", "0.005", "--seed", "9",
+            "--out", str(weblog), "--directory", str(directory),
+        ]) == 0
+        assert main([
+            "analyze", "--weblog", str(weblog),
+            "--directory", str(directory), "--out", str(obs_seq),
+        ]) == 0
+        assert main([
+            "analyze", "--weblog", str(weblog),
+            "--directory", str(directory), "--out", str(obs_par),
+            "--workers", "2", "--chunk-size", "500",
+        ]) == 0
+        capsys.readouterr()
+        # The sharded parallel CLI path is byte-identical to sequential.
+        assert obs_par.read_text() == obs_seq.read_text()
+
+    def test_analyze_rejects_bad_flags(self, tmp_path):
+        assert main([
+            "analyze", "--weblog", "w.csv", "--directory", "d.csv",
+            "--out", "o.csv", "--workers", "0",
+        ]) == 2
+        assert main([
+            "analyze", "--weblog", "w.csv", "--directory", "d.csv",
+            "--out", "o.csv", "--chunk-size", "0",
+        ]) == 2
+
     def test_pipeline_and_estimate(self, tmp_path, capsys):
         model_path = tmp_path / "model.json.gz"
         assert main([
