@@ -1,0 +1,37 @@
+"""Shared provenance fields for benchmark JSON records.
+
+Every perf benchmark (``bench_parallel_analyzer``, ``bench_forest``,
+...) emits one JSON record; stamping each with the machine's CPU count
+and the git SHA it was measured at makes the perf trajectory comparable
+across PRs (``BENCH_*.json`` files under ``benchmarks/output``).
+
+Underscore-prefixed so pytest never collects it; import works both as
+part of the ``benchmarks`` package (pytest) and as a sibling module
+(standalone ``python benchmarks/bench_*.py`` runs).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+
+
+def git_sha() -> str | None:
+    """Short SHA of the measured tree, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def provenance() -> dict:
+    """The fields every benchmark record carries."""
+    return {"cpu_count": os.cpu_count(), "git_sha": git_sha()}

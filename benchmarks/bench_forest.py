@@ -1,0 +1,295 @@
+"""Forest throughput benchmark: parallel training + flattened inference.
+
+Tracks the ML half of the pipeline's hot path (ISSUE 2): training the
+section-5.4 price forest and scoring every encrypted impression in
+dataset D.  Reports, as one JSON record (``BENCH_forest.json``):
+
+* ``train_rows_per_sec`` per worker count (1/2/4 by default), with the
+  bit-identical-to-sequential guarantee asserted along the way;
+* ``predict_rows_per_sec`` per traversal mode -- naive per-row
+  recursion, the index-partition node walk, and the flattened
+  level-synchronous batch walk -- over >= 50k rows through a 60-tree,
+  depth-18 forest (the paper's production shape);
+* ``speedup_vs_per_row`` / ``speedup_vs_sequential`` so the acceptance
+  bar (flattened >= 5x per-row recursion) is visible in the record;
+* ``cpu_count`` and ``git_sha`` provenance, matching
+  ``bench_parallel_analyzer``.
+
+Two entry points:
+
+* standalone script (no pytest needed)::
+
+      PYTHONPATH=src python benchmarks/bench_forest.py \
+          --train-rows 4000 --predict-rows 50000 --workers 1 2 4 \
+          --json benchmarks/output/BENCH_forest.json
+
+* pytest benchmark (scaled by ``REPRO_BENCH_SCALE``)::
+
+      pytest benchmarks/bench_forest.py -s
+
+As with ``bench_parallel_analyzer``, process-pool speedup is bounded by
+hardware parallelism: on a 1-core box the workers>1 rows/sec can only
+show pool overhead (fork + per-tree result pickling), never a win.  The
+record carries ``cpu_count`` so readers can judge; the bit-identical
+guarantee is asserted regardless of the core count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.serialize import dumps, forest_to_dict
+
+try:  # package import under pytest, sibling import as a script
+    from ._record import provenance
+except ImportError:  # pragma: no cover - script mode
+    from _record import provenance
+
+#: The paper's production forest shape (section 5.4 / EncryptedPriceModel).
+N_ESTIMATORS = 60
+MAX_DEPTH = 18
+
+
+def _synthetic(n_rows: int, n_features: int = 10, n_classes: int = 4,
+               seed: int = 20151231) -> tuple[np.ndarray, np.ndarray]:
+    """Ordinally-encoded-feature-like matrix with 4 learnable classes."""
+    rng = np.random.default_rng(seed)
+    x = np.column_stack(
+        [rng.integers(0, rng.integers(3, 40), size=n_rows).astype(float)
+         for _ in range(n_features)]
+    )
+    score = (
+        0.8 * x[:, 0] / max(1.0, x[:, 0].max())
+        + 0.6 * x[:, 1] / max(1.0, x[:, 1].max())
+        + 0.3 * rng.normal(size=n_rows)
+    )
+    y = np.digitize(score, np.quantile(score, [0.25, 0.5, 0.75]))
+    return x, y.astype(int)
+
+
+def _time(fn, repeats: int = 1) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_matrix(
+    train_rows: int = 4_000,
+    predict_rows: int = 50_000,
+    workers_list=(1, 2, 4),
+    n_estimators: int = N_ESTIMATORS,
+    max_depth: int = MAX_DEPTH,
+    repeats: int = 1,
+    per_row_cap: int | None = None,
+) -> dict:
+    """Time training per worker count and inference per traversal mode.
+
+    ``per_row_cap`` optionally bounds how many rows the (very slow)
+    per-row recursive baseline scores; its rows/sec is measured on that
+    subset and the speedup computed rate-to-rate, which favours the
+    baseline if anything (no cold-start amortisation).
+    """
+    x_train, y_train = _synthetic(train_rows, seed=20151231)
+    x_pred, _ = _synthetic(predict_rows, seed=715517)
+
+    records: list[dict] = []
+
+    # -- training: workers sweep, bit-identity asserted ---------------------
+    def fit_with(workers: int) -> RandomForestClassifier:
+        return RandomForestClassifier(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            min_samples_leaf=2,
+            seed=20151231,
+            workers=workers,
+        ).fit(x_train, y_train)
+
+    seq_s, forest = _time(lambda: fit_with(1), repeats)
+    reference_payload = dumps(forest_to_dict(forest))
+    records.append(
+        {
+            "phase": "train",
+            "workers": 1,
+            "seconds": round(seq_s, 4),
+            "train_rows_per_sec": round(train_rows / seq_s, 1),
+        }
+    )
+    for workers in workers_list:
+        if workers == 1:
+            continue
+        par_s, par = _time(lambda w=workers: fit_with(w), repeats)
+        assert dumps(forest_to_dict(par)) == reference_payload, (
+            f"workers={workers} training diverged from sequential"
+        )
+        records.append(
+            {
+                "phase": "train",
+                "workers": workers,
+                "seconds": round(par_s, 4),
+                "train_rows_per_sec": round(train_rows / par_s, 1),
+                "speedup_vs_sequential": round(seq_s / par_s, 2),
+            }
+        )
+
+    # -- inference: traversal sweep ----------------------------------------
+    n_per_row = min(predict_rows, per_row_cap or predict_rows)
+    per_row_s, per_row_out = _time(
+        lambda: forest.predict_proba(x_pred[:n_per_row], traversal="per-row"),
+        1,  # the naive path is too slow to repeat
+    )
+    per_row_rate = n_per_row / per_row_s
+    records.append(
+        {
+            "phase": "predict",
+            "traversal": "per-row-recursive",
+            "rows": n_per_row,
+            "seconds": round(per_row_s, 4),
+            "predict_rows_per_sec": round(per_row_rate, 1),
+        }
+    )
+
+    nodes_s, nodes_out = _time(
+        lambda: forest.predict_proba(x_pred, traversal="nodes"), repeats
+    )
+    records.append(
+        {
+            "phase": "predict",
+            "traversal": "node-walk-batch",
+            "rows": predict_rows,
+            "seconds": round(nodes_s, 4),
+            "predict_rows_per_sec": round(predict_rows / nodes_s, 1),
+            "speedup_vs_per_row": round((predict_rows / nodes_s) / per_row_rate, 2),
+        }
+    )
+
+    flat_s, flat_out = _time(
+        lambda: forest.predict_proba(x_pred, traversal="flat"), repeats
+    )
+    assert np.array_equal(flat_out, nodes_out), "flat diverged from node walk"
+    assert np.array_equal(flat_out[:n_per_row], per_row_out), (
+        "flat diverged from per-row recursion"
+    )
+    records.append(
+        {
+            "phase": "predict",
+            "traversal": "flattened-batch",
+            "rows": predict_rows,
+            "seconds": round(flat_s, 4),
+            "predict_rows_per_sec": round(predict_rows / flat_s, 1),
+            "speedup_vs_per_row": round((predict_rows / flat_s) / per_row_rate, 2),
+            "speedup_vs_node_walk": round(nodes_s / flat_s, 2),
+        }
+    )
+
+    return {
+        "benchmark": "forest",
+        "n_estimators": n_estimators,
+        "max_depth": max_depth,
+        "fitted_depth_max": max(t.depth() for t in forest.trees_),
+        "train_rows": train_rows,
+        "predict_rows": predict_rows,
+        **provenance(),
+        "runs": records,
+    }
+
+
+def _render(record: dict) -> list[str]:
+    lines = [
+        f"Price-forest throughput ({record['n_estimators']} trees, "
+        f"max depth {record['max_depth']}, {record['cpu_count']} CPUs, "
+        f"git {record['git_sha']}):",
+        "",
+        f"{'phase':<8} {'config':<22} {'rows/sec':>12} {'speedup':>8}",
+    ]
+    for run in record["runs"]:
+        config = (
+            f"workers={run['workers']}" if run["phase"] == "train"
+            else run["traversal"]
+        )
+        rate = run.get("train_rows_per_sec", run.get("predict_rows_per_sec"))
+        speed = run.get("speedup_vs_sequential", run.get("speedup_vs_per_row", ""))
+        lines.append(f"{run['phase']:<8} {config:<22} {rate:>12,.1f} {str(speed):>8}")
+    lines.append("")
+    lines.append(
+        "train speedup: vs workers=1 (bit-identical output asserted); "
+        "predict speedup: vs per-row recursive traversal."
+    )
+    return lines
+
+
+# -- pytest entry point ------------------------------------------------------
+
+def test_forest_throughput(benchmark):
+    from .conftest import bench_scale, emit
+
+    scale = bench_scale()
+    record = run_matrix(
+        train_rows=max(400, int(4_000 * scale)),
+        predict_rows=max(5_000, int(50_000 * scale)),
+        workers_list=(1, 2, 4),
+        per_row_cap=max(500, int(5_000 * scale)),
+    )
+    x_pred, _ = _synthetic(max(5_000, int(50_000 * scale)), seed=715517)
+    x_train, y_train = _synthetic(max(400, int(4_000 * scale)), seed=20151231)
+    forest = RandomForestClassifier(
+        n_estimators=N_ESTIMATORS, max_depth=MAX_DEPTH, min_samples_leaf=2,
+        seed=20151231,
+    ).fit(x_train, y_train)
+    benchmark(lambda: forest.predict_proba(x_pred))
+    emit("BENCH_forest", _render(record) + ["", json.dumps(record)])
+    flat = next(r for r in record["runs"] if r.get("traversal") == "flattened-batch")
+    # The ISSUE-2 acceptance bar, relaxed only at tiny scales.
+    if scale >= 0.999:
+        assert flat["speedup_vs_per_row"] >= 5.0
+    else:
+        assert flat["speedup_vs_per_row"] >= 2.0
+
+
+# -- standalone script -------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--train-rows", type=int, default=4_000)
+    parser.add_argument("--predict-rows", type=int, default=50_000)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--trees", type=int, default=N_ESTIMATORS)
+    parser.add_argument("--max-depth", type=int, default=MAX_DEPTH)
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="best-of-N timing repeats (default 1)")
+    parser.add_argument("--per-row-cap", type=int, default=None,
+                        help="cap rows scored by the slow per-row baseline")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the JSON record to this path")
+    args = parser.parse_args(argv)
+
+    record = run_matrix(
+        train_rows=args.train_rows,
+        predict_rows=args.predict_rows,
+        workers_list=tuple(args.workers),
+        n_estimators=args.trees,
+        max_depth=args.max_depth,
+        repeats=args.repeats,
+        per_row_cap=args.per_row_cap,
+    )
+    print("\n".join(_render(record)), file=sys.stderr)
+    print(json.dumps(record, indent=2))
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(record, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

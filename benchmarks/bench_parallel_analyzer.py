@@ -32,12 +32,16 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 from pathlib import Path
 
 from repro.analyzer.blacklist import default_blacklist
+
+try:  # package import under pytest, sibling import as a script
+    from ._record import provenance
+except ImportError:  # pragma: no cover - script mode
+    from _record import provenance
 from repro.analyzer.detector import classify_rows, detect_notifications
 from repro.analyzer.features import FeatureExtractor
 from repro.analyzer.interests import PublisherDirectory
@@ -135,7 +139,7 @@ def run_matrix(
     return {
         "benchmark": "parallel_analyzer",
         "n_rows": n_rows,
-        "cpu_count": os.cpu_count(),
+        **provenance(),  # cpu_count + git_sha, shared record convention
         "runs": records,
     }
 

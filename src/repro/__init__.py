@@ -48,14 +48,17 @@ __all__ = [
 ]
 
 
-def quickstart_pipeline(seed: int = 7, scale: float = 0.03) -> dict:
+def quickstart_pipeline(
+    seed: int = 7, scale: float = 0.03, workers: int | None = 1
+) -> dict:
     """Run the whole methodology end-to-end at a small scale.
 
     Simulates a scaled dataset D, analyses it, runs scaled probe
     campaigns, trains the price model, computes per-user costs, and
     replays one user's traffic through a YourAdValue client.  Returns a
     dict with the main artefacts; see ``examples/quickstart.py`` for a
-    narrated version.
+    narrated version.  ``workers`` parallelises the forest training
+    step (bit-identical to ``workers=1``).
     """
     from repro.trace import build_market, default_config
     from repro.util.rng import RngRegistry
@@ -70,7 +73,7 @@ def quickstart_pipeline(seed: int = 7, scale: float = 0.03) -> dict:
     pme.bootstrap(analysis, use_paper_features=True)
     market = build_market(config, RngRegistry(config.seed))
     pme.run_probe_campaigns(market, auctions_per_setup=max(10, int(185 * scale)))
-    model = pme.train_model(evaluate=False)
+    model = pme.train_model(evaluate=False, workers=workers)
     from repro.core.pme import mopub_cleartext_prices
 
     pme.compute_time_correction(mopub_cleartext_prices(analysis))

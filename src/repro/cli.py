@@ -8,7 +8,9 @@ Four subcommands mirror the deployment's moving parts:
   write the price observations;
 * ``pipeline`` -- run everything (simulate, analyze, probe campaigns,
   train) and write the model package plus a summary;
-* ``estimate`` -- price one impression context with a saved model.
+* ``estimate`` -- price impression contexts with a saved model (a
+  single JSON object, or an array / ``--features-file`` for vectorised
+  batch scoring through the flattened forest).
 
 Examples::
 
@@ -109,7 +111,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     from repro import quickstart_pipeline
     from repro.core.cost import CostDistribution
 
-    result = quickstart_pipeline(seed=args.seed or DEFAULT_SEED, scale=args.scale)
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    result = quickstart_pipeline(
+        seed=args.seed or DEFAULT_SEED, scale=args.scale, workers=args.workers
+    )
     pme = result["pme"]
     package = pme.package_model()
     save_model_package(package, args.model)
@@ -137,17 +144,43 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
     package = load_model_package(args.model)
     model = EncryptedPriceModel.from_package(package)
-    try:
-        features = json.loads(args.features)
-    except json.JSONDecodeError as exc:
-        print(f"error: --features is not valid JSON: {exc}", file=sys.stderr)
-        return 2
-    if not isinstance(features, dict):
-        print("error: --features must be a JSON object", file=sys.stderr)
-        return 2
-    estimate = model.estimate_one(features)
-    print(json.dumps({"estimated_cpm": round(estimate, 4)}))
-    return 0
+    if args.features_file:
+        try:
+            text = open(args.features_file, "r", encoding="utf-8").read()
+            features = json.loads(text)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read --features-file: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            features = json.loads(args.features)
+        except json.JSONDecodeError as exc:
+            print(f"error: --features is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+    if isinstance(features, dict):
+        estimate = model.estimate_one(features)
+        print(json.dumps({"estimated_cpm": round(estimate, 4)}))
+        return 0
+    if isinstance(features, list):
+        if not all(isinstance(row, dict) for row in features):
+            print("error: a JSON array of features must contain objects",
+                  file=sys.stderr)
+            return 2
+        # Batch scoring: one encode + one vectorised pass through the
+        # flattened forest, not a per-row loop.
+        estimates = model.estimate(features)
+        print(
+            json.dumps(
+                {
+                    "estimated_cpm": [round(float(v), 4) for v in estimates],
+                    "count": len(features),
+                }
+            )
+        )
+        return 0
+    print("error: --features must be a JSON object or array of objects",
+          file=sys.stderr)
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,12 +215,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("--scale", type=float, default=0.05)
     p_pipe.add_argument("--seed", type=int, default=None)
     p_pipe.add_argument("--model", required=True, help="model JSON(.gz) path")
+    p_pipe.add_argument("--workers", type=int, default=1,
+                        help="forest-training processes; member trees fit in "
+                             "parallel, bit-identical to --workers 1 (default 1)")
     p_pipe.set_defaults(func=_cmd_pipeline)
 
-    p_est = sub.add_parser("estimate", help="estimate one encrypted price")
+    p_est = sub.add_parser("estimate",
+                           help="estimate encrypted prices with a saved model")
     p_est.add_argument("--model", required=True)
-    p_est.add_argument("--features", required=True,
-                       help="JSON object of S features")
+    group = p_est.add_mutually_exclusive_group(required=True)
+    group.add_argument("--features",
+                       help="JSON object of S features, or a JSON array of "
+                            "such objects for vectorised batch scoring")
+    group.add_argument("--features-file",
+                       help="path to a JSON file holding one feature object "
+                            "or an array of them (batch scoring)")
     p_est.set_defaults(func=_cmd_estimate)
     return parser
 

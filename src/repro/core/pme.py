@@ -132,8 +132,14 @@ class PriceModelingEngine:
         evaluate: bool = True,
         cv_folds: int = 10,
         cv_runs: int = 10,
+        workers: int | None = 1,
     ) -> EncryptedPriceModel:
-        """Fit the encrypted-price classifier on campaign ground truth."""
+        """Fit the encrypted-price classifier on campaign ground truth.
+
+        ``workers`` parallelises forest training (and the CV refits)
+        across a process pool; results are bit-identical to
+        ``workers=1``.
+        """
         campaign = campaign or self.state.campaign_a1
         if campaign is None:
             raise RuntimeError("run the probe campaigns before training")
@@ -146,12 +152,14 @@ class PriceModelingEngine:
             feature_names=[n for n in names if n != "publisher"],
             n_classes=n_classes,
             seed=derive_seed(self.seed, "model"),
+            workers=workers,
         )
         self.state.model = model
         if evaluate:
             self.state.evaluation = model.cross_validate(
                 rows, prices, n_folds=cv_folds, n_runs=cv_runs,
                 seed=derive_seed(self.seed, "eval"),
+                workers=workers,
             )
         return model
 
@@ -188,6 +196,7 @@ class PriceModelingEngine:
         contributed_rows: list[dict],
         contributed_prices: list[float],
         n_classes: int = 4,
+        workers: int | None = 1,
     ) -> EncryptedPriceModel:
         """Fold anonymous client contributions into a fresh model.
 
@@ -206,6 +215,7 @@ class PriceModelingEngine:
             feature_names=[n for n in names if n != "publisher"],
             n_classes=n_classes,
             seed=derive_seed(self.seed, "retrain"),
+            workers=workers,
         )
         self.state.model = model
         return model

@@ -58,8 +58,14 @@ class EncryptedPriceModel:
         n_estimators: int = 60,
         max_depth: int = 18,
         seed: int = 0,
+        workers: int | None = 1,
     ) -> "EncryptedPriceModel":
-        """Fit the binner, encoder and forest on campaign ground truth."""
+        """Fit the binner, encoder and forest on campaign ground truth.
+
+        ``workers`` parallelises forest training across a process pool
+        (one member tree per task); any value is bit-identical to
+        ``workers=1`` -- see :class:`repro.ml.forest.RandomForestClassifier`.
+        """
         if len(feature_rows) != len(prices):
             raise ValueError("feature_rows and prices lengths differ")
         if len(feature_rows) < 10:
@@ -79,6 +85,7 @@ class EncryptedPriceModel:
             min_samples_leaf=2,
             oob_score=True,
             seed=derive_seed(seed, "price-forest"),
+            workers=workers,
         )
         forest.fit(x, y)
         return cls(feature_names=names, encoder=encoder, binner=binner, forest=forest)
@@ -89,8 +96,19 @@ class EncryptedPriceModel:
         x = self.encoder.transform(list(rows))
         return self.forest.predict(x)
 
+    def predict_proba(self, rows: Sequence[Mapping[str, Hashable]]) -> np.ndarray:
+        """Forest class-probability matrix per feature row (batch)."""
+        x = self.encoder.transform(list(rows))
+        return self.forest.predict_proba(x)
+
     def estimate(self, rows: Sequence[Mapping[str, Hashable]]) -> np.ndarray:
-        """Estimated CPM per feature row (class -> representative price)."""
+        """Estimated CPM per feature row (class -> representative price).
+
+        This is the batch scoring hot path: rows are encoded once and
+        routed through the forest's flattened member trees in one
+        vectorised pass -- feed the whole of dataset D at once rather
+        than looping ``estimate_one``.
+        """
         return self.binner.estimate(self.predict_class(rows))
 
     def estimate_one(self, row: Mapping[str, Hashable]) -> float:
@@ -144,6 +162,7 @@ class EncryptedPriceModel:
         n_folds: int = 10,
         n_runs: int = 10,
         seed: int = 0,
+        workers: int | None = 1,
     ) -> CrossValidationResult:
         """The paper's 10-fold x 10-run CV protocol on the same data."""
         y = self.binner.assign(list(prices))
@@ -153,6 +172,7 @@ class EncryptedPriceModel:
             max_depth=self.forest.max_depth,
             min_samples_leaf=self.forest.min_samples_leaf,
             seed=derive_seed(seed, "cv-forest"),
+            workers=workers,
         )
         return cross_validate_classifier(
             lambda: RandomForestClassifier(**forest_params),

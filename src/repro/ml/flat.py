@@ -1,0 +1,187 @@
+"""Flattened (array-of-struct) tree representation for fast inference.
+
+:class:`repro.ml.tree.TreeNode` is the right structure for *fitting* --
+growth is naturally recursive and nodes are born one at a time -- but it
+is the wrong structure for *scoring*: traversing a linked object graph
+costs a Python attribute lookup per node per batch partition, and the
+PME has to score every encrypted impression in dataset D (hundreds of
+thousands of rows through a 60-tree forest).
+
+:class:`FlatTree` compiles a fitted ``TreeNode`` graph into five
+contiguous numpy arrays (``feature``/``threshold``/``left``/``right``/
+``value``) indexed by node id.  Batch traversal then becomes a
+*level-synchronous* vectorised walk: one fancy-indexing step advances
+every still-active row by one level, so the Python-interpreter cost is
+``O(depth)`` instead of ``O(rows x depth)`` (per-row recursion) or
+``O(nodes)`` (the index-partition node walk).  Probabilities are
+identical bit-for-bit to the recursive result: leaf class frequencies
+are normalised once at compile time with exactly the division the
+recursive path performs at every visit.
+
+The flat form is derived state -- it is recompiled after ``fit`` and
+after deserialisation, never serialised itself, so the JSON model
+package format is unchanged by its existence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.tree import TreeNode
+
+__all__ = ["FlatTree", "flatten_classifier_tree", "flatten_regressor_tree"]
+
+#: Sentinel node id / feature id for "no child" / "is a leaf".
+_NO_NODE = -1
+
+
+@dataclass
+class FlatTree:
+    """A fitted tree compiled to contiguous arrays.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; internal nodes
+    carry a feature index, threshold and child node ids.  ``value`` has
+    one row per node: the normalised class-probability vector for
+    classifier leaves (aligned to the owning forest's class space) or a
+    single-column mean target for regressor leaves.  Internal-node rows
+    are zero -- only leaf rows are ever gathered.
+    """
+
+    feature: np.ndarray      # (n_nodes,) int32, -1 at leaves
+    threshold: np.ndarray    # (n_nodes,) float64, nan at leaves
+    left: np.ndarray         # (n_nodes,) int32, -1 at leaves
+    right: np.ndarray        # (n_nodes,) int32, -1 at leaves
+    value: np.ndarray        # (n_nodes, n_outputs) float64
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+    @property
+    def n_outputs(self) -> int:
+        return int(self.value.shape[1])
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Leaf node id reached by every row of ``x`` (vectorised).
+
+        The walk is level-synchronous: each iteration advances all rows
+        that have not yet reached a leaf by one tree level, comparing
+        ``x[row, feature] <= threshold`` exactly as the recursive
+        traversal does (NaN compares false and routes right, matching
+        the per-row walk).
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        feature = self.feature
+        threshold = self.threshold
+        left = self.left
+        right = self.right
+        node = np.zeros(x.shape[0], dtype=np.int64)
+        active = np.flatnonzero(feature[node] >= 0)
+        while active.size:
+            current = node[active]
+            go_left = x[active, feature[current]] <= threshold[current]
+            nxt = np.where(go_left, left[current], right[current])
+            node[active] = nxt
+            active = active[feature[nxt] >= 0]
+        return node
+
+    def predict_value(self, x: np.ndarray) -> np.ndarray:
+        """Gather the leaf ``value`` row for every row of ``x``."""
+        return self.value[self.apply(x)]
+
+
+def _flatten(root: TreeNode, n_outputs: int, leaf_row) -> FlatTree:
+    """Compile ``root`` to arrays; ``leaf_row(node)`` yields value rows.
+
+    Uses an explicit stack (a deep fitted tree must not be bounded by
+    the interpreter recursion limit) and assigns node ids in pre-order,
+    left child first, so recompiling the same tree always produces the
+    same arrays.
+    """
+    # First pass: count nodes to allocate exactly once.
+    n_nodes = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        n_nodes += 1
+        if not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            stack.append(node.right)
+            stack.append(node.left)
+
+    feature = np.full(n_nodes, _NO_NODE, dtype=np.int32)
+    threshold = np.full(n_nodes, np.nan, dtype=np.float64)
+    left = np.full(n_nodes, _NO_NODE, dtype=np.int32)
+    right = np.full(n_nodes, _NO_NODE, dtype=np.int32)
+    value = np.zeros((n_nodes, n_outputs), dtype=np.float64)
+
+    # Second pass: pre-order id assignment and array fill.
+    next_id = 1
+    work: list[tuple[TreeNode, int]] = [(root, 0)]
+    while work:
+        node, idx = work.pop()
+        if node.is_leaf:
+            value[idx] = leaf_row(node)
+            continue
+        assert node.feature is not None and node.threshold is not None
+        assert node.left is not None and node.right is not None
+        feature[idx] = node.feature
+        threshold[idx] = node.threshold
+        left_id = next_id
+        right_id = next_id + 1
+        next_id += 2
+        left[idx] = left_id
+        right[idx] = right_id
+        # Push right first so the left subtree is processed (and hence
+        # filled) first; ids are already fixed either way.
+        work.append((node.right, right_id))
+        work.append((node.left, left_id))
+    return FlatTree(
+        feature=feature, threshold=threshold, left=left, right=right, value=value
+    )
+
+
+def flatten_classifier_tree(root: TreeNode, n_classes: int) -> FlatTree:
+    """Compile a classifier tree; leaf rows are class probabilities.
+
+    Leaf class-count vectors are normalised here, once, with the same
+    ``counts / total`` (or uniform fallback for an empty leaf) the
+    recursive traversal computes per visit -- so flat and recursive
+    probabilities are bit-identical.  Counts from a tree fitted in a
+    smaller class space are aligned by class label into the forest's
+    ``n_classes`` columns.
+    """
+
+    def leaf_row(node: TreeNode) -> np.ndarray:
+        counts = node.value
+        assert isinstance(counts, np.ndarray)
+        total = counts.sum()
+        if total > 0:
+            probs = counts / total
+        else:
+            probs = np.full(counts.shape[0], 1.0 / max(1, counts.shape[0]))
+        if probs.shape[0] == n_classes:
+            return probs
+        if probs.shape[0] > n_classes:
+            raise ValueError(
+                f"leaf has {probs.shape[0]} classes, forest space is {n_classes}"
+            )
+        row = np.zeros(n_classes, dtype=np.float64)
+        # Tree class-count vectors index by label (np.bincount), so
+        # column j *is* class label j: aligning is a label scatter.
+        row[np.arange(probs.shape[0])] = probs
+        return row
+
+    return _flatten(root, n_classes, leaf_row)
+
+
+def flatten_regressor_tree(root: TreeNode) -> FlatTree:
+    """Compile a regressor tree; leaf rows are the single mean target."""
+
+    def leaf_row(node: TreeNode) -> np.ndarray:
+        assert isinstance(node.value, float)
+        return np.asarray([node.value], dtype=np.float64)
+
+    return _flatten(root, 1, leaf_row)

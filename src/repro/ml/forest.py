@@ -1,4 +1,4 @@
-"""Random Forests with OOB error and Gini feature importances.
+"""Random Forests with OOB error, Gini importances and parallel fit.
 
 The paper uses Random Forests twice: (1) for dimensionality reduction,
 ranking semantic feature groups by their power to explain the cleartext
@@ -8,18 +8,185 @@ and generally does not overfit"; and (2) as the encrypted-price
 classifier itself (section 5.4).  Both uses need feature importances,
 out-of-bag error, and class-probability outputs for AUCROC -- all
 implemented here.
+
+Scale design notes
+------------------
+
+* **Class-space alignment.**  The forest validates that labels are
+  contiguous ``0..K-1`` and pins every member tree to the forest's
+  class space (``DecisionTreeClassifier.fit(..., n_classes=K)``), so a
+  bootstrap sample that misses the highest price class still yields a
+  full-width ``predict_proba``.  Trees from an *external* class space
+  (e.g. a version-1 serialised payload) are re-aligned explicitly by
+  class label -- leaf count vectors index by ``np.bincount`` label, so
+  tree column ``j`` is class label ``j`` -- never by raw column count.
+* **Parallel training.**  ``workers > 1`` fits member trees across a
+  process pool.  Every tree's randomness is fully determined by
+  ``derive_seed(seed, f"tree-{t}")`` (bootstrap draw and per-split
+  feature subsampling share the tree's own generator), and per-tree
+  results are merged strictly in tree order, so a parallel fit is
+  **bit-identical** to the sequential one: same trees, same
+  ``predict_proba``, same OOB votes, same importances.
+* **Flattened inference.**  Member trees compile to contiguous arrays
+  after fit (:mod:`repro.ml.flat`); ``predict_proba`` aggregates the
+  vectorised flat traversal per tree, in tree order.  ``traversal=``
+  selects the node-walk or per-row reference paths for equivalence
+  checks and benchmarks -- all three agree exactly.
 """
 
 from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Sequence
 
 import numpy as np
 
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.util.rng import derive_seed
 
+__all__ = ["RandomForestClassifier", "RandomForestRegressor"]
+
+#: Traversal modes accepted by ``predict_proba``/``predict``.
+_TRAVERSALS = ("flat", "nodes", "per-row")
+
+
+def _resolve_workers(workers: int | None, n_tasks: int) -> int:
+    """Effective worker count: ``None`` = all cores, capped by tasks."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, min(int(workers), n_tasks))
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """Prefer fork (cheap, shares the training matrix); else spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+# -- per-tree fit routines ---------------------------------------------------
+#
+# Both the sequential loop and the pool workers run *exactly* these
+# functions, which is what makes parallel training bit-identical: the
+# only difference between the two paths is which process executes them.
+
+def _fit_classifier_tree(
+    t: int,
+    x: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    seed: int,
+    bootstrap: bool,
+    want_oob: bool,
+    tree_kwargs: dict,
+) -> tuple[DecisionTreeClassifier, np.ndarray | None, np.ndarray | None]:
+    """Fit member tree ``t``; returns (tree, oob_rows, oob_probs)."""
+    n = x.shape[0]
+    rng = np.random.default_rng(derive_seed(seed, f"tree-{t}"))
+    indices = rng.integers(0, n, size=n) if bootstrap else np.arange(n)
+    tree = DecisionTreeClassifier(rng=rng, **tree_kwargs)
+    tree.fit(x[indices], y[indices], n_classes=n_classes)
+    oob_rows: np.ndarray | None = None
+    oob_probs: np.ndarray | None = None
+    if want_oob and bootstrap:
+        mask = np.ones(n, dtype=bool)
+        mask[indices] = False
+        if mask.any():
+            oob_rows = np.flatnonzero(mask)
+            oob_probs = tree.predict_proba(x[oob_rows])
+    return tree, oob_rows, oob_probs
+
+
+def _fit_regressor_tree(
+    t: int,
+    x: np.ndarray,
+    y: np.ndarray,
+    seed: int,
+    tree_kwargs: dict,
+) -> DecisionTreeRegressor:
+    """Fit regressor member tree ``t``."""
+    n = x.shape[0]
+    rng = np.random.default_rng(derive_seed(seed, f"rtree-{t}"))
+    indices = rng.integers(0, n, size=n)
+    tree = DecisionTreeRegressor(rng=rng, **tree_kwargs)
+    tree.fit(x[indices], y[indices])
+    return tree
+
+
+# -- pool plumbing -----------------------------------------------------------
+
+_FIT_CTX: dict | None = None
+
+
+def _init_fit_worker(ctx: dict) -> None:
+    """Pool initializer: stash the training context once per process."""
+    global _FIT_CTX
+    _FIT_CTX = ctx
+
+
+def _fit_tree_task(t: int):
+    """Pool task: fit tree ``t`` using the per-process context."""
+    ctx = _FIT_CTX
+    if ctx is None:
+        raise RuntimeError("fit worker used before _init_fit_worker")
+    if ctx["kind"] == "classifier":
+        return _fit_classifier_tree(
+            t, ctx["x"], ctx["y"], ctx["n_classes"], ctx["seed"],
+            ctx["bootstrap"], ctx["want_oob"], ctx["tree_kwargs"],
+        )
+    return _fit_regressor_tree(t, ctx["x"], ctx["y"], ctx["seed"], ctx["tree_kwargs"])
+
+
+def _map_tree_fits(ctx: dict, n_estimators: int, workers: int) -> list:
+    """Run the per-tree fits, in a pool when ``workers > 1``.
+
+    Results are always returned **in tree order** (``pool.map``
+    preserves input order), so downstream accumulation is independent
+    of worker scheduling.
+    """
+    if workers <= 1:
+        _init_fit_worker(ctx)
+        try:
+            return [_fit_tree_task(t) for t in range(n_estimators)]
+        finally:
+            globals()["_FIT_CTX"] = None
+    pool_ctx = _pool_context()
+    chunksize = max(1, n_estimators // (workers * 4))
+    with pool_ctx.Pool(
+        processes=workers, initializer=_init_fit_worker, initargs=(ctx,)
+    ) as pool:
+        return pool.map(_fit_tree_task, range(n_estimators), chunksize=chunksize)
+
+
+def _validate_labels(y: np.ndarray) -> int:
+    """Contiguity gate: labels must be exactly ``0..K-1``; returns K.
+
+    ``y.max() + 1`` silently allocated phantom classes for skipped ids
+    and crashed downstream for negative ones; make both loud.
+    """
+    classes = np.unique(y)
+    if classes.size == 0:
+        raise ValueError("cannot fit on zero samples")
+    if classes[0] < 0:
+        raise ValueError(
+            f"class labels must be non-negative integers; got min {classes[0]}"
+        )
+    if not np.array_equal(classes, np.arange(classes.size)):
+        raise ValueError(
+            "class labels must be contiguous 0..K-1 (re-encode before fitting); "
+            f"got {classes.tolist()}"
+        )
+    return int(classes.size)
+
 
 class RandomForestClassifier:
-    """Bootstrap-aggregated CART classifier with feature subsampling."""
+    """Bootstrap-aggregated CART classifier with feature subsampling.
+
+    ``workers`` controls *training* parallelism only (process pool, one
+    member tree per task); it is a runtime knob, excluded from the
+    serialised hyperparameters, and ``workers=N`` is guaranteed
+    bit-identical to ``workers=1``.
+    """
 
     def __init__(
         self,
@@ -32,6 +199,7 @@ class RandomForestClassifier:
         bootstrap: bool = True,
         oob_score: bool = False,
         seed: int = 0,
+        workers: int | None = 1,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -44,11 +212,21 @@ class RandomForestClassifier:
         self.bootstrap = bootstrap
         self.oob_score = oob_score
         self.seed = int(seed)
+        self.workers = workers
         self.trees_: list[DecisionTreeClassifier] = []
         self.n_classes_: int = 0
         self.n_features_: int = 0
         self.feature_importances_: np.ndarray | None = None
         self.oob_score_: float | None = None
+
+    def _tree_kwargs(self) -> dict:
+        return dict(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            min_samples_split=self.min_samples_split,
+            max_features=self.max_features,
+            criterion=self.criterion,
+        )
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         x = np.asarray(x, dtype=float)
@@ -59,7 +237,7 @@ class RandomForestClassifier:
         if n == 0:
             raise ValueError("cannot fit on zero samples")
         self.n_features_ = x.shape[1]
-        self.n_classes_ = int(y.max()) + 1
+        self.n_classes_ = _validate_labels(y)
         self.trees_ = []
 
         oob_votes = (
@@ -67,33 +245,27 @@ class RandomForestClassifier:
         )
         importances = np.zeros(self.n_features_)
 
-        for t in range(self.n_estimators):
-            rng = np.random.default_rng(derive_seed(self.seed, f"tree-{t}"))
-            if self.bootstrap:
-                indices = rng.integers(0, n, size=n)
-            else:
-                indices = np.arange(n)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                min_samples_split=self.min_samples_split,
-                max_features=self.max_features,
-                criterion=self.criterion,
-                rng=rng,
-            )
-            tree.fit(x[indices], y[indices])
-            # A bootstrap sample can miss high classes; re-align tree output
-            # to the forest's class space.
+        ctx = dict(
+            kind="classifier",
+            x=x,
+            y=y,
+            n_classes=self.n_classes_,
+            seed=self.seed,
+            bootstrap=self.bootstrap,
+            want_oob=self.oob_score,
+            tree_kwargs=self._tree_kwargs(),
+        )
+        workers = _resolve_workers(self.workers, self.n_estimators)
+        results = _map_tree_fits(ctx, self.n_estimators, workers)
+
+        # Merge strictly in tree order: float accumulation order is part
+        # of the bit-identical parallel==sequential contract.
+        for tree, oob_rows, oob_probs in results:
             self.trees_.append(tree)
             if tree.feature_importances_ is not None:
                 importances += tree.feature_importances_
-
-            if oob_votes is not None and self.bootstrap:
-                mask = np.ones(n, dtype=bool)
-                mask[indices] = False
-                if mask.any():
-                    probs = tree.predict_proba(x[mask])
-                    oob_votes[mask, : probs.shape[1]] += probs
+            if oob_votes is not None and oob_rows is not None:
+                oob_votes[oob_rows] += self._aligned_probs(tree, oob_probs)
 
         importances /= self.n_estimators
         total = importances.sum()
@@ -110,19 +282,65 @@ class RandomForestClassifier:
         if not self.trees_:
             raise RuntimeError("forest is not fitted")
 
-    def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        """Average of member-tree leaf class frequencies."""
+    def _aligned_probs(self, tree: DecisionTreeClassifier, probs: np.ndarray) -> np.ndarray:
+        """Align one tree's probability columns to the forest class space.
+
+        Alignment is by **class label**: tree column ``j`` corresponds
+        to class label ``tree.classes_[j]`` (``np.bincount`` ordering),
+        which is scattered into the forest's column for that label.  A
+        tree fitted in the forest's own class space passes through
+        unchanged; a narrower tree (old serialised payloads, externally
+        fitted trees) is zero-padded at its missing labels -- wherever
+        they fall, not just at the top.
+        """
+        if probs.shape[1] == self.n_classes_:
+            return probs
+        if probs.shape[1] > self.n_classes_:
+            raise ValueError(
+                f"tree has {probs.shape[1]} classes, forest has {self.n_classes_}"
+            )
+        labels = (
+            np.asarray(tree.classes_, dtype=int)
+            if tree.classes_ is not None
+            else np.arange(probs.shape[1])
+        )
+        aligned = np.zeros((probs.shape[0], self.n_classes_), dtype=float)
+        aligned[:, labels] = probs
+        return aligned
+
+    def predict_proba(self, x: np.ndarray, traversal: str = "flat") -> np.ndarray:
+        """Average of member-tree leaf class frequencies.
+
+        ``traversal`` selects the member-tree inference path: ``"flat"``
+        (vectorised flattened arrays, the default hot path), ``"nodes"``
+        (index-partition walk over ``TreeNode``) or ``"per-row"`` (naive
+        recursive descent).  All three return bit-identical results;
+        the alternates exist for the equivalence suite and benchmarks.
+        """
         self._check_fitted()
+        if traversal not in _TRAVERSALS:
+            raise ValueError(f"unknown traversal {traversal!r}; use {_TRAVERSALS}")
         x = np.atleast_2d(np.asarray(x, dtype=float))
         total = np.zeros((x.shape[0], self.n_classes_), dtype=float)
         for tree in self.trees_:
-            probs = tree.predict_proba(x)
-            total[:, : probs.shape[1]] += probs
+            if traversal == "flat":
+                probs = tree.predict_proba(x)
+            elif traversal == "nodes":
+                probs = tree._predict_proba_nodes(x)
+            else:
+                probs = tree._predict_proba_per_row(x)
+            total += self._aligned_probs(tree, probs)
         return total / len(self.trees_)
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
+    def predict(self, x: np.ndarray, traversal: str = "flat") -> np.ndarray:
         """Majority (probability-averaged) class per row."""
-        return np.argmax(self.predict_proba(x), axis=1)
+        return np.argmax(self.predict_proba(x, traversal=traversal), axis=1)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Flat-tree leaf id per (row, member tree): shape (n, n_trees)."""
+        self._check_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return np.column_stack([tree.apply(x) for tree in self.trees_])
 
     @property
     def oob_error_(self) -> float | None:
@@ -131,7 +349,11 @@ class RandomForestClassifier:
 
 
 class RandomForestRegressor:
-    """Bootstrap-aggregated CART regressor (regression baseline)."""
+    """Bootstrap-aggregated CART regressor (regression baseline).
+
+    ``workers`` parallelises training exactly as in
+    :class:`RandomForestClassifier` (bit-identical to sequential).
+    """
 
     def __init__(
         self,
@@ -140,6 +362,7 @@ class RandomForestRegressor:
         min_samples_leaf: int = 1,
         max_features: int | str | None = "sqrt",
         seed: int = 0,
+        workers: int | None = 1,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -148,6 +371,7 @@ class RandomForestRegressor:
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.seed = int(seed)
+        self.workers = workers
         self.trees_: list[DecisionTreeRegressor] = []
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
@@ -158,18 +382,19 @@ class RandomForestRegressor:
         n = x.shape[0]
         if n == 0:
             raise ValueError("cannot fit on zero samples")
-        self.trees_ = []
-        for t in range(self.n_estimators):
-            rng = np.random.default_rng(derive_seed(self.seed, f"rtree-{t}"))
-            indices = rng.integers(0, n, size=n)
-            tree = DecisionTreeRegressor(
+        ctx = dict(
+            kind="regressor",
+            x=x,
+            y=y,
+            seed=self.seed,
+            tree_kwargs=dict(
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
-                rng=rng,
-            )
-            tree.fit(x[indices], y[indices])
-            self.trees_.append(tree)
+            ),
+        )
+        workers = _resolve_workers(self.workers, self.n_estimators)
+        self.trees_ = list(_map_tree_fits(ctx, self.n_estimators, workers))
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:

@@ -17,7 +17,36 @@ import numpy as np
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.tree import DecisionTreeClassifier, TreeNode
 
-FORMAT_VERSION = 1
+#: Version 2 adds fitted state (``feature_importances_``, ``oob_score_``)
+#: and the constructor hyperparameters to forest payloads, so a loaded
+#: forest is a faithful clone, not just a bag of trees.  Version-1
+#: payloads still load (with default hyperparameters, as before).
+FORMAT_VERSION = 2
+
+#: Forest constructor hyperparameters round-tripped by version-2
+#: payloads.  ``workers`` is deliberately absent: it is a runtime
+#: execution knob, not part of the model.
+_FOREST_PARAM_KEYS = (
+    "n_estimators",
+    "max_depth",
+    "min_samples_leaf",
+    "min_samples_split",
+    "max_features",
+    "criterion",
+    "bootstrap",
+    "oob_score",
+    "seed",
+)
+
+
+def _check_format(payload: dict[str, Any]) -> int:
+    version = int(payload.get("format", 1))
+    if version < 1 or version > FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported serialisation format {version} "
+            f"(this build reads 1..{FORMAT_VERSION})"
+        )
+    return version
 
 
 def _node_to_dict(node: TreeNode) -> dict[str, Any]:
@@ -79,37 +108,73 @@ def tree_to_dict(tree: DecisionTreeClassifier) -> dict[str, Any]:
 
 
 def tree_from_dict(payload: dict[str, Any]) -> DecisionTreeClassifier:
-    """Rebuild a classifier tree from :func:`tree_to_dict` output."""
+    """Rebuild a classifier tree from :func:`tree_to_dict` output.
+
+    The flattened inference arrays are recompiled on load (they are
+    derived state and never serialised), so a deserialised tree scores
+    at full speed immediately.
+    """
     if payload.get("kind") != "decision_tree_classifier":
         raise ValueError(f"not a serialised tree: kind={payload.get('kind')!r}")
+    _check_format(payload)
     tree = DecisionTreeClassifier(criterion=payload.get("criterion", "gini"))
     tree.n_classes_ = int(payload["n_classes"])
     tree.n_features_ = int(payload["n_features"])
+    tree.classes_ = np.arange(tree.n_classes_)
     tree.root_ = _node_from_dict(payload["root"])
+    tree.compile_flat()
     return tree
 
 
 def forest_to_dict(forest: RandomForestClassifier) -> dict[str, Any]:
-    """Serialise a fitted forest (all member trees)."""
+    """Serialise a fitted forest: member trees, fitted state, params."""
     if not forest.trees_:
         raise ValueError("cannot serialise an unfitted forest")
+    importances = forest.feature_importances_
     return {
         "format": FORMAT_VERSION,
         "kind": "random_forest_classifier",
         "n_classes": forest.n_classes_,
         "n_features": forest.n_features_,
+        "params": {key: getattr(forest, key) for key in _FOREST_PARAM_KEYS},
+        "feature_importances": (
+            None if importances is None else [float(v) for v in importances]
+        ),
+        "oob_score": (
+            None if forest.oob_score_ is None else float(forest.oob_score_)
+        ),
         "trees": [tree_to_dict(t) for t in forest.trees_],
     }
 
 
 def forest_from_dict(payload: dict[str, Any]) -> RandomForestClassifier:
-    """Rebuild a forest from :func:`forest_to_dict` output."""
+    """Rebuild a forest from :func:`forest_to_dict` output.
+
+    Version-2 payloads restore the constructor hyperparameters and the
+    fitted state (``feature_importances_``, ``oob_score_``); version-1
+    payloads (which carried neither) load with default hyperparameters,
+    matching their historical behaviour.
+    """
     if payload.get("kind") != "random_forest_classifier":
         raise ValueError(f"not a serialised forest: kind={payload.get('kind')!r}")
-    forest = RandomForestClassifier(n_estimators=max(1, len(payload["trees"])))
+    version = _check_format(payload)
+    if version >= 2:
+        params = dict(payload["params"])
+        unknown = set(params) - set(_FOREST_PARAM_KEYS)
+        if unknown:
+            raise ValueError(f"unknown forest params in payload: {sorted(unknown)}")
+        forest = RandomForestClassifier(**params)
+    else:
+        forest = RandomForestClassifier(n_estimators=max(1, len(payload["trees"])))
     forest.n_classes_ = int(payload["n_classes"])
     forest.n_features_ = int(payload["n_features"])
     forest.trees_ = [tree_from_dict(t) for t in payload["trees"]]
+    importances = payload.get("feature_importances")
+    if importances is not None:
+        forest.feature_importances_ = np.asarray(importances, dtype=float)
+    oob = payload.get("oob_score")
+    if oob is not None:
+        forest.oob_score_ = float(oob)
     return forest
 
 

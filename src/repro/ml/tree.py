@@ -202,12 +202,22 @@ class DecisionTreeClassifier:
         self.n_classes_: int = 0
         self.n_features_: int = 0
         self.feature_importances_: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+        self.flat_ = None  # FlatTree, compiled after fit / deserialise
 
     # -- fitting -----------------------------------------------------------
 
     def fit(self, x: np.ndarray, y: np.ndarray,
-            sample_indices: np.ndarray | None = None) -> "DecisionTreeClassifier":
-        """Fit on ``x`` (n_samples, n_features) and integer labels ``y``."""
+            sample_indices: np.ndarray | None = None,
+            n_classes: int | None = None) -> "DecisionTreeClassifier":
+        """Fit on ``x`` (n_samples, n_features) and integer labels ``y``.
+
+        ``n_classes`` pins the tree's class space to an enclosing
+        ensemble's (a bootstrap sample can miss the highest labels; the
+        forest passes its own class count so every member tree carries
+        full-width leaf count vectors).  Left ``None``, the class space
+        is inferred from ``y`` as before.
+        """
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=int)
         if x.ndim != 2:
@@ -223,8 +233,19 @@ class DecisionTreeClassifier:
             x = x[sample_indices]
             y = y[sample_indices]
 
+        observed = int(y.max()) + 1
+        if n_classes is not None:
+            if n_classes < observed:
+                raise ValueError(
+                    f"n_classes={n_classes} smaller than max label {observed - 1}"
+                )
+            self.n_classes_ = int(n_classes)
+        else:
+            self.n_classes_ = observed
         self.n_features_ = x.shape[1]
-        self.n_classes_ = int(y.max()) + 1
+        # Leaf count vectors index by label (np.bincount with minlength
+        # n_classes_), so column j of any output is class label j.
+        self.classes_ = np.arange(self.n_classes_)
         self._importance_acc = np.zeros(self.n_features_)
         params = self._growth_params()
         self.root_ = self._grow(x, y, depth=0, params=params)
@@ -233,7 +254,21 @@ class DecisionTreeClassifier:
             self._importance_acc / total if total > 0 else self._importance_acc
         )
         del self._importance_acc
+        self.compile_flat()
         return self
+
+    def compile_flat(self):
+        """(Re)compile the flattened inference arrays from ``root_``.
+
+        Called automatically at the end of ``fit`` and by the
+        deserialiser; also usable after manual ``root_`` surgery.
+        Returns the :class:`repro.ml.flat.FlatTree`.
+        """
+        from repro.ml.flat import flatten_classifier_tree
+
+        root = self._check_fitted()
+        self.flat_ = flatten_classifier_tree(root, self.n_classes_)
+        return self.flat_
 
     def _growth_params(self) -> _GrowthParams:
         max_features: int | None
@@ -331,9 +366,28 @@ class DecisionTreeClassifier:
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         """Class-frequency probabilities of the reached leaf, per row.
 
-        Rows are routed through the tree in batches (an index-partition
-        walk) rather than one at a time, which keeps prediction fast for
-        the cross-validation protocol's repeated scoring.
+        Uses the flattened arrays (:meth:`compile_flat`) when available
+        -- a level-synchronous vectorised walk whose interpreter cost is
+        ``O(depth)`` -- and falls back to the index-partition node walk
+        otherwise.  All traversal modes produce bit-identical output.
+        """
+        if self.flat_ is not None:
+            x = np.atleast_2d(np.asarray(x, dtype=float))
+            return self.flat_.predict_value(x)
+        return self._predict_proba_nodes(x)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Flat-tree leaf node id per row (requires compiled arrays)."""
+        if self.flat_ is None:
+            self.compile_flat()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return self.flat_.apply(x)
+
+    def _predict_proba_nodes(self, x: np.ndarray) -> np.ndarray:
+        """Index-partition batch walk over the ``TreeNode`` graph.
+
+        The pre-flattening hot path, kept as the reference
+        implementation for the equivalence suite and benchmarks.
         """
         x = np.atleast_2d(np.asarray(x, dtype=float))
         root = self._check_fitted()
@@ -359,6 +413,25 @@ class DecisionTreeClassifier:
             mask = x[indices, node.feature] <= node.threshold
             stack.append((node.left, indices[mask]))
             stack.append((node.right, indices[~mask]))
+        return out
+
+    def _predict_proba_per_row(self, x: np.ndarray) -> np.ndarray:
+        """Row-at-a-time recursive traversal (the naive baseline).
+
+        One ``_leaf_for`` pointer chase per row -- ``O(rows x depth)``
+        interpreter work.  Kept only so benchmarks and the equivalence
+        suite can quantify what the batch walks buy.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self._check_fitted()
+        out = np.empty((x.shape[0], self.n_classes_), dtype=float)
+        for i in range(x.shape[0]):
+            counts = self._leaf_for(x[i]).value
+            assert isinstance(counts, np.ndarray)
+            total = counts.sum()
+            out[i] = counts / total if total > 0 else np.full(
+                self.n_classes_, 1.0 / self.n_classes_
+            )
         return out
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -412,6 +485,16 @@ class DecisionTreeRegressor:
         self.rng = rng
         self.root_: TreeNode | None = None
         self.n_features_: int = 0
+        self.flat_ = None  # FlatTree, compiled after fit
+
+    def compile_flat(self):
+        """(Re)compile the flattened inference arrays from ``root_``."""
+        from repro.ml.flat import flatten_regressor_tree
+
+        if self.root_ is None:
+            raise RuntimeError("tree is not fitted")
+        self.flat_ = flatten_regressor_tree(self.root_)
+        return self.flat_
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
         x = np.asarray(x, dtype=float)
@@ -440,6 +523,7 @@ class DecisionTreeRegressor:
             rng=rng,
         )
         self.root_ = self._grow(x, y, 0, params)
+        self.compile_flat()
         return self
 
     def _grow(self, x: np.ndarray, y: np.ndarray, depth: int,
@@ -488,6 +572,12 @@ class DecisionTreeRegressor:
         if self.root_ is None:
             raise RuntimeError("tree is not fitted")
         x = np.atleast_2d(np.asarray(x, dtype=float))
+        if self.flat_ is not None:
+            return self.flat_.predict_value(x)[:, 0]
+        return self._predict_nodes(x)
+
+    def _predict_nodes(self, x: np.ndarray) -> np.ndarray:
+        """Index-partition batch walk (pre-flattening reference path)."""
         out = np.empty(x.shape[0], dtype=float)
         stack: list[tuple[TreeNode, np.ndarray]] = [
             (self.root_, np.arange(x.shape[0]))

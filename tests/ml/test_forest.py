@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.util.rng import derive_seed
 
 
 def _data(n=400, seed=0):
@@ -11,6 +12,38 @@ def _data(n=400, seed=0):
     x = rng.normal(size=(n, 5))
     y = ((x[:, 0] > 0).astype(int) + (x[:, 1] > 0.5).astype(int))
     return x, y
+
+
+def _skewed_data(n=60, seed=3):
+    """Four classes, the top one carried by a single sample.
+
+    A bootstrap of size ``n`` misses that sample with probability
+    ``(1 - 1/n)**n ~ 0.36`` per tree, so a modest forest is all but
+    guaranteed to contain trees whose bootstrap dropped the top class.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = rng.integers(0, 3, size=n)
+    y[0] = 3
+    x[0] += 10.0  # make the lone top-class sample separable
+    return x, y
+
+
+def _dropped_top_class_trees(forest, y, n):
+    """Indices of member trees whose bootstrap missed the top label.
+
+    Replays each tree's seeded bootstrap draw (the generator is fully
+    determined by ``derive_seed(seed, "tree-t")``), independent of the
+    forest implementation under test.
+    """
+    top = int(y.max())
+    dropped = []
+    for t in range(forest.n_estimators):
+        rng = np.random.default_rng(derive_seed(forest.seed, f"tree-{t}"))
+        indices = rng.integers(0, n, size=n)
+        if top not in y[indices]:
+            dropped.append(t)
+    return dropped
 
 
 class TestForestClassifier:
@@ -73,6 +106,114 @@ class TestForestClassifier:
             n_estimators=5, bootstrap=False, max_features=None, seed=0
         ).fit(x, y)
         assert (forest.predict(x) == y).mean() > 0.9
+
+
+class TestClassSpaceAlignment:
+    """Regression tests for the missing-class bootstrap bug.
+
+    Pre-fix, ``RandomForestClassifier.fit`` promised to "re-align tree
+    output to the forest's class space" but never did: a bootstrap that
+    missed the highest price class produced a member tree with fewer
+    ``predict_proba`` columns than ``n_classes_``.
+    """
+
+    def test_bootstrap_drops_top_class_premise(self):
+        # The scenario must actually occur for the regression test to
+        # mean anything: at least one member bootstrap misses class 3.
+        x, y = _skewed_data()
+        forest = RandomForestClassifier(n_estimators=25, seed=11).fit(x, y)
+        assert _dropped_top_class_trees(forest, y, len(y)), (
+            "test premise broken: no bootstrap dropped the top class; "
+            "re-tune _skewed_data"
+        )
+
+    def test_member_trees_span_forest_class_space(self):
+        # Pre-fix this fails: trees whose bootstrap missed class 3 had
+        # n_classes_ == 3 and emitted 3-column probabilities.
+        x, y = _skewed_data()
+        forest = RandomForestClassifier(n_estimators=25, seed=11).fit(x, y)
+        dropped = _dropped_top_class_trees(forest, y, len(y))
+        for t in dropped:
+            tree = forest.trees_[t]
+            assert tree.n_classes_ == forest.n_classes_ == 4
+            assert tree.predict_proba(x[:5]).shape == (5, 4)
+            assert np.array_equal(tree.classes_, np.arange(4))
+
+    def test_forest_proba_well_formed_under_skew(self):
+        x, y = _skewed_data()
+        forest = RandomForestClassifier(n_estimators=25, seed=11).fit(x, y)
+        probs = forest.predict_proba(x)
+        assert probs.shape == (len(y), 4)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        # The separable lone sample must still receive top-class mass
+        # from the trees that did see it.
+        assert probs[0, 3] > 0
+
+    def test_oob_votes_aligned_under_skew(self):
+        x, y = _skewed_data(n=80, seed=5)
+        forest = RandomForestClassifier(
+            n_estimators=30, oob_score=True, seed=7
+        ).fit(x, y)
+        assert forest.oob_score_ is not None
+        assert 0.0 <= forest.oob_score_ <= 1.0
+
+    def test_alignment_is_by_label_not_column_count(self):
+        # A member tree living in a *gappy* class space (e.g. loaded
+        # from an external payload whose labels were {0, 2}) must have
+        # its columns scattered to the labels it knows, not packed into
+        # the first columns.
+        x, y = _data(200)
+        forest = RandomForestClassifier(n_estimators=4, seed=2).fit(x, y)
+        tree = forest.trees_[0]
+        narrow = np.array([[0.25, 0.75]])
+        tree_like = type("T", (), {"classes_": np.array([0, 2])})()
+        aligned = forest._aligned_probs(tree_like, narrow)
+        assert aligned.shape == (1, forest.n_classes_)
+        assert aligned[0, 0] == 0.25
+        assert aligned[0, 1] == 0.0      # label 1 unknown to the tree
+        assert aligned[0, 2] == 0.75     # column 1 is label 2, not label 1
+        # Sanity: a full-width tree passes through untouched.
+        full = tree.predict_proba(x[:3])
+        assert forest._aligned_probs(tree, full) is full
+
+    def test_wider_tree_than_forest_rejected(self):
+        x, y = _data(200)
+        forest = RandomForestClassifier(n_estimators=2, seed=0).fit(x, y)
+        too_wide = np.ones((1, forest.n_classes_ + 1))
+        with pytest.raises(ValueError):
+            forest._aligned_probs(forest.trees_[0], too_wide)
+
+
+class TestLabelValidation:
+    """`n_classes_ = y.max() + 1` must not silently allocate phantoms."""
+
+    def test_negative_labels_rejected(self):
+        x = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="non-negative"):
+            RandomForestClassifier(n_estimators=1).fit(x, [-1, 0, 1, 1])
+
+    def test_non_contiguous_labels_rejected(self):
+        x = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="contiguous"):
+            RandomForestClassifier(n_estimators=1).fit(x, [0, 2, 2, 0])
+
+    def test_labels_missing_zero_rejected(self):
+        x = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="contiguous"):
+            RandomForestClassifier(n_estimators=1).fit(x, [1, 2, 1, 2])
+
+    def test_contiguous_labels_accepted(self):
+        x, y = _data(100)
+        forest = RandomForestClassifier(n_estimators=3, seed=0).fit(x, y)
+        assert forest.n_classes_ == int(y.max()) + 1
+
+    def test_single_class_accepted(self):
+        x = np.random.default_rng(0).normal(size=(30, 2))
+        forest = RandomForestClassifier(n_estimators=2, seed=0).fit(
+            x, np.zeros(30, dtype=int)
+        )
+        assert forest.n_classes_ == 1
+        assert np.all(forest.predict(x) == 0)
 
 
 class TestForestRegressor:

@@ -144,3 +144,90 @@ class TestSerialization:
         forest = RandomForestClassifier(n_estimators=3, max_depth=3, seed=1).fit(x, y)
         text = dumps(forest_to_dict(forest))
         assert isinstance(json.loads(text), dict)
+
+
+class TestSerializationV2:
+    """Version-2 payloads round-trip fitted state and hyperparameters."""
+
+    def _fitted_forest(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(250, 4))
+        y = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0.5).astype(int)
+        forest = RandomForestClassifier(
+            n_estimators=6,
+            max_depth=7,
+            min_samples_leaf=2,
+            min_samples_split=3,
+            max_features="sqrt",
+            criterion="entropy",
+            oob_score=True,
+            seed=42,
+        ).fit(x, y)
+        return forest, x
+
+    def test_payload_declares_version_2(self):
+        forest, _ = self._fitted_forest()
+        payload = forest_to_dict(forest)
+        assert payload["format"] == 2
+        assert payload["trees"][0]["format"] == 2
+
+    def test_hyperparameters_roundtrip(self):
+        forest, _ = self._fitted_forest()
+        clone = forest_from_dict(loads(dumps(forest_to_dict(forest))))
+        for key in ("n_estimators", "max_depth", "min_samples_leaf",
+                    "min_samples_split", "max_features", "criterion",
+                    "bootstrap", "oob_score", "seed"):
+            assert getattr(clone, key) == getattr(forest, key), key
+
+    def test_fitted_state_roundtrip(self):
+        forest, x = self._fitted_forest()
+        clone = forest_from_dict(loads(dumps(forest_to_dict(forest))))
+        assert clone.oob_score_ == forest.oob_score_
+        assert np.array_equal(clone.feature_importances_,
+                              forest.feature_importances_)
+        # serialise -> deserialise -> predict is bit-identical
+        assert np.array_equal(clone.predict_proba(x), forest.predict_proba(x))
+
+    def test_refit_after_roundtrip_matches_original(self):
+        # Because hyperparameters (incl. seed) survive, refitting the
+        # clone on the same data reproduces the original forest.
+        forest, x = self._fitted_forest()
+        rng = np.random.default_rng(5)
+        x2 = rng.normal(size=(250, 4))
+        y2 = (x2[:, 0] > 0).astype(int) + (x2[:, 1] > 0.5).astype(int)
+        clone = forest_from_dict(forest_to_dict(forest))
+        clone.fit(x2, y2)
+        assert dumps(forest_to_dict(clone)) == dumps(forest_to_dict(forest))
+
+    def test_version_1_payload_still_loads(self):
+        forest, x = self._fitted_forest()
+        payload = forest_to_dict(forest)
+        # Strip everything version 2 added, emulating an old artefact.
+        legacy = {
+            "format": 1,
+            "kind": payload["kind"],
+            "n_classes": payload["n_classes"],
+            "n_features": payload["n_features"],
+            "trees": [
+                {k: v for k, v in t.items() if k != "format"} | {"format": 1}
+                for t in payload["trees"]
+            ],
+        }
+        clone = forest_from_dict(legacy)
+        assert clone.feature_importances_ is None
+        assert clone.oob_score_ is None
+        assert np.array_equal(clone.predict_proba(x), forest.predict_proba(x))
+
+    def test_future_format_rejected(self):
+        forest, _ = self._fitted_forest()
+        payload = forest_to_dict(forest)
+        payload["format"] = 99
+        with pytest.raises(ValueError, match="unsupported"):
+            forest_from_dict(payload)
+
+    def test_unknown_params_rejected(self):
+        forest, _ = self._fitted_forest()
+        payload = forest_to_dict(forest)
+        payload["params"]["workers"] = 8  # runtime knob must not sneak in
+        with pytest.raises(ValueError, match="unknown forest params"):
+            forest_from_dict(payload)
