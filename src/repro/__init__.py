@@ -77,9 +77,16 @@ def quickstart_pipeline(
     from repro.core.pme import mopub_cleartext_prices
 
     pme.compute_time_correction(mopub_cleartext_prices(analysis))
-    costs = compute_user_costs(analysis, model, pme.state.time_correction)
+    # Score costs with the *packaged* model -- the exact artefact
+    # clients download -- so the backend cost table and the YourAdValue
+    # ledger agree bit-for-bit: both apply the packaged time-correction
+    # coefficient to encrypted estimates (cleartext sums are corrected
+    # inside compute_user_costs as before).
+    package = pme.package_model()
+    packaged_model = EncryptedPriceModel.from_package(package)
+    costs = compute_user_costs(analysis, packaged_model, pme.state.time_correction)
 
-    client = YourAdValue(pme.package_model(), directory)
+    client = YourAdValue(package, directory)
     heaviest = max(costs.values(), key=lambda c: c.total_cpm).user_id
     client.observe_many(r for r in dataset.rows if r.user_id == heaviest)
 

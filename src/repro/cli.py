@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands mirror the deployment's moving parts:
+Five subcommands mirror the deployment's moving parts:
 
 * ``simulate`` -- generate a dataset-D weblog (and its publisher
   directory) to disk;
@@ -10,7 +10,11 @@ Four subcommands mirror the deployment's moving parts:
   train) and write the model package plus a summary;
 * ``estimate`` -- price impression contexts with a saved model (a
   single JSON object, or an array / ``--features-file`` for vectorised
-  batch scoring through the flattened forest).
+  batch scoring through the flattened forest);
+* ``serve`` -- run the PME as a long-running asyncio HTTP service
+  (micro-batched ``/estimate``, ``/model`` distribution with ETags,
+  ``/contribute`` ingestion; ``--bootstrap`` additionally trains an
+  in-process PME so contributions can trigger retrain + hot reload).
 
 Examples::
 
@@ -22,6 +26,8 @@ Examples::
     python -m repro.cli pipeline --scale 0.05 --model model.json.gz
     python -m repro.cli estimate --model model.json.gz \
         --features '{"context": "app", "publisher_iab": "IAB3", ...}'
+    python -m repro.cli serve --model model.json.gz --port 8080 \
+        --max-batch 32 --max-delay-ms 2
 """
 
 from __future__ import annotations
@@ -183,6 +189,67 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.contributions import ContributionServer
+    from repro.serve import PmeServer
+
+    if args.max_batch < 1:
+        print("error: --max-batch must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_delay_ms < 0:
+        print("error: --max-delay-ms must be >= 0", file=sys.stderr)
+        return 2
+    if bool(args.model) == bool(args.bootstrap):
+        print("error: pass exactly one of --model / --bootstrap",
+              file=sys.stderr)
+        return 2
+
+    pme = None
+    if args.model:
+        package = load_model_package(args.model)
+        source = args.model
+    else:
+        # Bootstrap a full PME in-process (simulate + analyze + probe +
+        # train) so the serve loop can retrain on contributions.
+        from repro import quickstart_pipeline
+
+        print(
+            f"bootstrapping PME at scale {args.bootstrap} "
+            "(simulate + analyze + campaigns + train)...",
+            file=sys.stderr,
+        )
+        result = quickstart_pipeline(
+            seed=args.seed or DEFAULT_SEED, scale=args.bootstrap,
+            workers=args.workers,
+        )
+        pme = result["pme"]
+        package = pme.package_model()
+        source = f"bootstrap(scale={args.bootstrap})"
+
+    server = PmeServer(
+        package,
+        pme=pme,
+        contributions=ContributionServer(k_anonymity=args.k_anonymity),
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        retrain_min_new_rows=args.retrain_min_new_rows,
+        retrain_workers=args.workers,
+    )
+    retrain = "enabled" if server.retrain_enabled else "disabled"
+    print(
+        f"serving {source} (model version "
+        f"{server.store.current.version}, retrain {retrain}) "
+        f"on http://{args.host}:{args.port} -- "
+        f"max_batch={args.max_batch}, max_delay_ms={args.max_delay_ms}",
+        file=sys.stderr,
+    )
+    try:
+        server.run(host=args.host, port=args.port)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -231,6 +298,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="path to a JSON file holding one feature object "
                             "or an array of them (batch scoring)")
     p_est.set_defaults(func=_cmd_estimate)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the PME as a long-running HTTP service"
+    )
+    p_srv.add_argument("--model", default=None,
+                       help="serve a saved model package (JSON/.gz); "
+                            "contributions are collected but retraining "
+                            "is disabled (no campaign ground truth)")
+    p_srv.add_argument("--bootstrap", type=float, default=None,
+                       metavar="SCALE",
+                       help="bootstrap an in-process PME at this pipeline "
+                            "scale instead of --model; enables retrain + "
+                            "hot reload on contributions")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8080)
+    p_srv.add_argument("--seed", type=int, default=None)
+    p_srv.add_argument("--max-batch", type=int, default=32,
+                       help="estimate micro-batch flush size (1 disables "
+                            "batching; default 32)")
+    p_srv.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="max time the oldest queued estimate waits "
+                            "before a partial batch flushes (default 2)")
+    p_srv.add_argument("--k-anonymity", type=int, default=3,
+                       help="distinct contributors required before an "
+                            "(ADX, IAB) group's records are releasable")
+    p_srv.add_argument("--retrain-min-new-rows", type=int, default=50,
+                       help="new releasable rows that trigger a retrain "
+                            "and hot reload (default 50)")
+    p_srv.add_argument("--workers", type=int, default=1,
+                       help="forest-training processes during bootstrap "
+                            "and retrain (default 1)")
+    p_srv.set_defaults(func=_cmd_serve)
     return parser
 
 

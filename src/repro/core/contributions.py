@@ -41,11 +41,19 @@ class ContributionError(ValueError):
 
 @dataclass
 class ContributionServer:
-    """Collects anonymous price records from YourAdValue clients."""
+    """Collects anonymous price records from YourAdValue clients.
+
+    ``k_anonymity`` is fixed at construction time: the releasable-row
+    count is maintained incrementally on every submit (so ``stats`` is
+    O(1) -- it is polled by the serve ``/metrics`` endpoint), and that
+    bookkeeping assumes the floor never moves under it.
+    """
 
     k_anonymity: int = 3
     _records: list[dict] = field(default_factory=list)
     _contributors_per_key: dict[tuple, set[int]] = field(default_factory=lambda: defaultdict(set))
+    _records_per_key: dict[tuple, int] = field(default_factory=lambda: defaultdict(int))
+    _releasable: int = 0
     _accepted: int = 0
     _rejected: int = 0
 
@@ -76,7 +84,18 @@ class ContributionServer:
 
         self._records.append(dict(record))
         key = (record.get("adx"), record.get("publisher_iab"))
-        self._contributors_per_key[key].add(contributor_token)
+        contributors = self._contributors_per_key[key]
+        was_released = len(contributors) >= self.k_anonymity
+        contributors.add(contributor_token)
+        self._records_per_key[key] += 1
+        if was_released:
+            # Group already public: the new record is releasable at once.
+            self._releasable += 1
+        elif len(contributors) >= self.k_anonymity:
+            # The k-th distinct contributor just arrived: the whole
+            # quarantined backlog for this group becomes releasable
+            # retroactively, new record included.
+            self._releasable += self._records_per_key[key]
         self._accepted += 1
         return True
 
@@ -117,9 +136,14 @@ class ContributionServer:
 
     @property
     def stats(self) -> dict[str, int]:
+        """O(1) snapshot -- no scan, safe to poll per ``/metrics`` hit.
+
+        ``releasable`` is the incrementally-maintained count and always
+        equals ``len(self.training_rows()[0])`` (gated in tests).
+        """
         return {
             "accepted": self._accepted,
             "rejected": self._rejected,
             "stored": len(self._records),
-            "releasable": len(self.training_rows()[0]),
+            "releasable": self._releasable,
         }

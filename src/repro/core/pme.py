@@ -179,7 +179,13 @@ class PriceModelingEngine:
         return self.state.time_correction
 
     def package_model(self) -> dict:
-        """The artefact YourAdValue downloads."""
+        """The artefact YourAdValue downloads.
+
+        The package carries the PME's section-6.2 drift coefficient;
+        :meth:`EncryptedPriceModel.from_package` restores it so every
+        client-side estimate (YourAdValue ledger entries, the serve
+        ``/estimate`` path) comes out time-corrected.
+        """
         if self.state.model is None:
             raise RuntimeError("train a model before packaging")
         package = self.state.model.to_package()

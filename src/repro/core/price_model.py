@@ -41,12 +41,22 @@ PAPER_AUCROC = 0.964
 
 @dataclass
 class EncryptedPriceModel:
-    """A fitted price estimator: features -> estimated CPM."""
+    """A fitted price estimator: features -> estimated CPM.
+
+    ``time_correction`` is the PME's section-6.2 drift coefficient: a
+    multiplicative correction applied to every CPM estimate.  A model
+    trained in-process carries the neutral ``1.0``; a model loaded from
+    a PME package (:meth:`from_package`) carries whatever coefficient
+    the PME stamped into the package, so packaged-then-loaded models
+    produce time-corrected estimates everywhere -- the YourAdValue
+    ledger, the serve ``/estimate`` path, batch scoring.
+    """
 
     feature_names: list[str]
     encoder: FrameEncoder
     binner: PriceBinner
     forest: RandomForestClassifier
+    time_correction: float = 1.0
 
     @classmethod
     def train(
@@ -108,8 +118,13 @@ class EncryptedPriceModel:
         routed through the forest's flattened member trees in one
         vectorised pass -- feed the whole of dataset D at once rather
         than looping ``estimate_one``.
+
+        Estimates are multiplied by ``time_correction`` (1.0 for models
+        trained in-process; the PME's drift coefficient for models
+        loaded from a package).  The element-wise product keeps batch
+        results bit-identical to per-row ``estimate_one`` calls.
         """
-        return self.binner.estimate(self.predict_class(rows))
+        return self.binner.estimate(self.predict_class(rows)) * self.time_correction
 
     def estimate_one(self, row: Mapping[str, Hashable]) -> float:
         return float(self.estimate([row])[0])
@@ -147,7 +162,9 @@ class EncryptedPriceModel:
             ]
         return {
             "predicted_class": cls,
-            "estimated_cpm": float(self.binner.representative(cls)),
+            "estimated_cpm": float(
+                self.binner.representative(cls) * self.time_correction
+            ),
             "class_probabilities": [float(p) for p in probs],
             "top_features": top,
             "decision_path": path,
@@ -191,6 +208,7 @@ class EncryptedPriceModel:
             "kind": "yav_price_model",
             "version": version,
             "feature_names": list(self.feature_names),
+            "time_correction": float(self.time_correction),
             "encoder": self.encoder.to_dict(),
             "binner": self.binner.to_dict(),
             "forest": forest_to_dict(self.forest),
@@ -198,13 +216,25 @@ class EncryptedPriceModel:
 
     @classmethod
     def from_package(cls, payload: dict) -> "EncryptedPriceModel":
+        """Rebuild the estimator from a package, coefficient included.
+
+        The PME stamps ``time_correction`` into every package
+        (:meth:`repro.core.pme.PriceModelingEngine.package_model`); it
+        must survive the round trip or every client-side estimate is
+        silently un-corrected (the pre-PR-3 bug).  Packages written
+        before the field existed default to the neutral 1.0.
+        """
         if payload.get("kind") != "yav_price_model":
             raise ValueError("not a YourAdValue model package")
+        correction = float(payload.get("time_correction", 1.0))
+        if not correction > 0:
+            raise ValueError(f"time_correction must be positive, got {correction!r}")
         return cls(
             feature_names=list(payload["feature_names"]),
             encoder=FrameEncoder.from_dict(payload["encoder"]),
             binner=PriceBinner.from_dict(payload["binner"]),
             forest=forest_from_dict(payload["forest"]),
+            time_correction=correction,
         )
 
 

@@ -85,6 +85,10 @@ class YourAdValue:
     ):
         self.model = EncryptedPriceModel.from_package(model_package)
         self.model_version = int(model_package.get("version", 1))
+        #: The PME's drift coefficient carried by the package; the model
+        #: applies it to every encrypted estimate (ledger entries
+        #: included), so the toolbar shows campaign-time prices.
+        self.time_correction = self.model.time_correction
         self.directory = directory
         self.blacklist = blacklist or default_blacklist()
         self.geoip = geoip or GeoIpResolver()
@@ -183,6 +187,7 @@ class YourAdValue:
             return False
         self.model = EncryptedPriceModel.from_package(package)
         self.model_version = version
+        self.time_correction = self.model.time_correction
         return True
 
     def contribution_records(self) -> list[dict]:

@@ -1,0 +1,101 @@
+"""Serving metrics: counters, batch-size histogram, latency percentiles.
+
+Everything here is O(1) per observation and bounded-memory, because the
+``/metrics`` endpoint is meant to be polled (and the counters bumped)
+on every single request of a heavy-traffic deployment:
+
+* request counters are plain dicts keyed by route and status class;
+* the batch-size histogram is a dict ``size -> count`` (sizes are
+  bounded by ``max_batch``, so it cannot grow unbounded);
+* estimate latency keeps a fixed-size ring of the most recent
+  observations and computes p50/p90/p99 over that window on demand --
+  recent-window percentiles are what an operator actually wants from a
+  live server, and the ring bounds both memory and the per-poll sort.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+
+
+class LatencyWindow:
+    """Fixed-size ring of recent latency samples (seconds)."""
+
+    def __init__(self, size: int = 4096):
+        self._samples: deque[float] = deque(maxlen=size)
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+        self.count += 1
+
+    def percentiles(self, points: tuple[int, ...] = (50, 90, 99)) -> dict[str, float]:
+        if not self._samples:
+            return {f"p{p}": 0.0 for p in points}
+        ordered = sorted(self._samples)
+        out = {}
+        for p in points:
+            # nearest-rank on the recent window
+            rank = min(len(ordered) - 1, max(0, round(p / 100 * len(ordered)) - 1))
+            out[f"p{p}"] = ordered[rank]
+        return out
+
+
+class ServeMetrics:
+    """All counters the serve endpoints expose."""
+
+    def __init__(self, latency_window: int = 4096):
+        self.started_at = time.time()
+        self.requests: Counter[str] = Counter()        # route -> hits
+        self.responses: Counter[str] = Counter()       # status class -> hits
+        self.batch_sizes: Counter[int] = Counter()     # batch size -> flushes
+        self.estimate_latency = LatencyWindow(latency_window)
+        self.estimates = 0
+        self.estimate_errors = 0
+        self.retrains = 0
+        self.model_not_modified = 0                    # /model 304s
+
+    # -- observation hooks --------------------------------------------------
+
+    def on_request(self, route: str) -> None:
+        self.requests[route] += 1
+
+    def on_response(self, status: int) -> None:
+        self.responses[f"{status // 100}xx"] += 1
+
+    def on_batch(self, size: int, seconds: float) -> None:
+        self.batch_sizes[size] += 1
+        self.estimates += size
+
+    def on_estimate_latency(self, seconds: float) -> None:
+        self.estimate_latency.observe(seconds)
+
+    # -- export -------------------------------------------------------------
+
+    def batch_histogram(self) -> dict[str, int]:
+        return {str(size): n for size, n in sorted(self.batch_sizes.items())}
+
+    def mean_batch_size(self) -> float:
+        flushes = sum(self.batch_sizes.values())
+        if not flushes:
+            return 0.0
+        return sum(s * n for s, n in self.batch_sizes.items()) / flushes
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` payload core (app adds model/contrib fields)."""
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "requests": dict(self.requests),
+            "responses": dict(self.responses),
+            "estimates": {
+                "total": self.estimates,
+                "errors": self.estimate_errors,
+                "batch_histogram": self.batch_histogram(),
+                "mean_batch_size": self.mean_batch_size(),
+                "latency_seconds": self.estimate_latency.percentiles(),
+                "latency_samples": self.estimate_latency.count,
+            },
+            "retrains": self.retrains,
+            "model_not_modified": self.model_not_modified,
+        }

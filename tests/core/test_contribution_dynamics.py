@@ -1,0 +1,163 @@
+"""K-anonymity release dynamics and O(1) stats bookkeeping.
+
+The contribution server quarantines each (ADX, IAB) group until
+``k_anonymity`` *distinct* contributors have reported it, then releases
+the whole backlog retroactively.  These tests pin down the release
+dynamics at the boundary and gate the incrementally-maintained
+``stats["releasable"]`` counter against the ground-truth scan.
+"""
+
+import pytest
+
+from repro.core.contributions import ContributionError, ContributionServer
+
+
+def record(adx="MoPub", iab="IAB12", price=0.8, **overrides):
+    base = {
+        "adx": adx,
+        "dsp": "Criteo-DSP",
+        "slot_size": "300x250",
+        "publisher_iab": iab,
+        "hour_of_day": 10,
+        "day_of_week": 2,
+        "price_cpm": price,
+    }
+    base.update(overrides)
+    return base
+
+
+def releasable_by_scan(server: ContributionServer) -> int:
+    return len(server.training_rows()[0])
+
+
+class TestReleaseDynamics:
+    def test_group_quarantined_below_k(self):
+        server = ContributionServer(k_anonymity=3)
+        for token in (1, 2):
+            for _ in range(4):
+                server.submit(record(), token)
+        assert server.stats["stored"] == 8
+        assert server.stats["releasable"] == 0
+        assert releasable_by_scan(server) == 0
+
+    def test_released_exactly_at_kth_distinct_token(self):
+        server = ContributionServer(k_anonymity=3)
+        server.submit(record(price=0.5), 1)
+        server.submit(record(price=0.6), 1)    # same token: still 1 distinct
+        server.submit(record(price=0.7), 2)
+        assert server.stats["releasable"] == 0
+
+        # The k-th distinct contributor releases the entire backlog
+        # retroactively, earlier records included.
+        server.submit(record(price=0.9), 3)
+        assert server.stats["releasable"] == 4
+        rows, prices = server.training_rows()
+        assert sorted(prices) == [0.5, 0.6, 0.7, 0.9]
+
+    def test_post_release_records_release_immediately(self):
+        server = ContributionServer(k_anonymity=2)
+        server.submit(record(), 1)
+        server.submit(record(), 2)             # releases the group
+        assert server.stats["releasable"] == 2
+        server.submit(record(), 1)             # already-public group
+        assert server.stats["releasable"] == 3
+
+    def test_groups_release_independently(self):
+        server = ContributionServer(k_anonymity=2)
+        server.submit(record(iab="IAB1"), 1)
+        server.submit(record(iab="IAB1"), 2)
+        server.submit(record(iab="IAB2"), 1)   # still quarantined
+        assert server.stats["releasable"] == 2
+        rows, _ = server.training_rows()
+        assert {r["publisher_iab"] for r in rows} == {"IAB1"}
+        server.submit(record(iab="IAB2"), 9)
+        assert server.stats["releasable"] == 4
+
+    def test_adx_is_part_of_the_group_key(self):
+        server = ContributionServer(k_anonymity=2)
+        server.submit(record(adx="MoPub"), 1)
+        server.submit(record(adx="AdX"), 2)    # different group entirely
+        assert server.stats["releasable"] == 0
+
+    def test_rejected_records_never_count_anywhere(self):
+        server = ContributionServer(k_anonymity=1)
+        with pytest.raises(ContributionError):
+            server.submit(record(price=-1.0), 1)
+        with pytest.raises(ContributionError):
+            server.submit(record(user_id="u1"), 2)
+        assert server.stats == {
+            "accepted": 0, "rejected": 2, "stored": 0, "releasable": 0,
+        }
+
+
+@pytest.mark.tier1
+class TestStatsConsistency:
+    def test_incremental_releasable_matches_scan_throughout(self):
+        """The O(1) counter equals the O(n) ground truth after every
+        submit, across interleaved groups, duplicate tokens, rejects."""
+        server = ContributionServer(k_anonymity=3)
+        script = [
+            (record(iab="IAB1"), 1),
+            (record(iab="IAB1"), 1),
+            (record(iab="IAB2"), 1),
+            (record(iab="IAB1"), 2),
+            (record(iab="IAB2"), 2),
+            (record(iab="IAB1"), 3),     # IAB1 crosses k=3 here
+            (record(iab="IAB1"), 4),
+            (record(iab="IAB2"), 3),     # IAB2 crosses k=3 here
+            (record(iab="IAB2"), 3),
+            (record(iab="IAB3"), 5),
+        ]
+        for rec, token in script:
+            server.submit(rec, token)
+            assert server.stats["releasable"] == releasable_by_scan(server)
+
+    def test_stats_is_constant_time_no_scan(self):
+        """`stats` must not rebuild training rows (the /metrics path)."""
+        server = ContributionServer(k_anonymity=1)
+        for i in range(100):
+            server.submit(record(price=0.1 + i * 0.001), i)
+        calls = 0
+        original = server.training_rows
+
+        def counting():
+            nonlocal calls
+            calls += 1
+            return original()
+
+        server.training_rows = counting
+        stats = server.stats
+        assert calls == 0
+        assert stats["releasable"] == 100
+
+
+class TestBatchAccounting:
+    def test_partial_failure_accounting_consistent(self):
+        """`submit_batch` returns accepted; `stats` carries the rejects,
+        and accepted + rejected always equals what was submitted."""
+        server = ContributionServer(k_anonymity=1)
+        batch = [
+            record(price=0.5),
+            record(price=-5.0),              # implausible
+            record(price=0.7),
+            record(user_id="u9"),            # identifying
+            record(extra_field=1),           # unknown field
+            record(price=0.9),
+        ]
+        accepted = server.submit_batch(batch, contributor_token=1)
+        assert accepted == 3
+        stats = server.stats
+        assert stats["accepted"] == 3
+        assert stats["rejected"] == 3
+        assert accepted + stats["rejected"] == len(batch)
+        assert stats["stored"] == accepted
+        assert stats["releasable"] == releasable_by_scan(server) == 3
+
+    def test_batches_accumulate_across_calls(self):
+        server = ContributionServer(k_anonymity=2)
+        assert server.submit_batch([record(), record(price=-1)], 1) == 1
+        assert server.submit_batch([record()], 2) == 1
+        stats = server.stats
+        assert stats["accepted"] == 2
+        assert stats["rejected"] == 1
+        assert stats["releasable"] == 2 == releasable_by_scan(server)

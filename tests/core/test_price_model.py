@@ -88,6 +88,80 @@ class TestPackaging:
         assert model.to_package(version=3)["version"] == 3
 
 
+@pytest.mark.tier1
+class TestTimeCorrectionRoundTrip:
+    """Regression: the PME writes ``time_correction`` into the package;
+    it must survive ``from_package`` and be applied to estimates (the
+    pre-PR-3 bug silently dropped it on load)."""
+
+    def test_fresh_model_is_neutral(self, model):
+        assert model.time_correction == 1.0
+        assert model.to_package()["time_correction"] == 1.0
+
+    def test_coefficient_survives_the_round_trip(self, model):
+        package = model.to_package()
+        package["time_correction"] = 1.37          # what the PME stamps
+        clone = EncryptedPriceModel.from_package(package)
+        assert clone.time_correction == 1.37
+
+    def test_loaded_model_estimates_are_time_corrected(self, campaign, model):
+        package = model.to_package()
+        package["time_correction"] = 1.37
+        clone = EncryptedPriceModel.from_package(package)
+        rows = campaign.feature_rows()[:50]
+        assert np.allclose(clone.estimate(rows), model.estimate(rows) * 1.37)
+        assert clone.estimate_one(rows[0]) == pytest.approx(
+            model.estimate_one(rows[0]) * 1.37
+        )
+
+    def test_estimate_one_matches_batch_bitwise(self, campaign, model):
+        package = model.to_package()
+        package["time_correction"] = 1.37
+        clone = EncryptedPriceModel.from_package(package)
+        rows = campaign.feature_rows()[:32]
+        batch = clone.estimate(rows)
+        assert [clone.estimate_one(r) for r in rows] == list(batch)
+
+    def test_explain_one_reports_corrected_price(self, campaign, model):
+        package = model.to_package()
+        package["time_correction"] = 1.37
+        clone = EncryptedPriceModel.from_package(package)
+        row = campaign.feature_rows()[0]
+        explanation = clone.explain_one(row)
+        assert explanation["estimated_cpm"] == pytest.approx(
+            clone.estimate_one(row)
+        )
+
+    def test_legacy_package_defaults_to_neutral(self, model):
+        package = model.to_package()
+        del package["time_correction"]             # pre-PR-3 artefact
+        clone = EncryptedPriceModel.from_package(package)
+        assert clone.time_correction == 1.0
+
+    def test_nonpositive_coefficient_rejected(self, model):
+        package = model.to_package()
+        package["time_correction"] = 0.0
+        with pytest.raises(ValueError, match="time_correction"):
+            EncryptedPriceModel.from_package(package)
+
+    def test_pme_package_applies_state_coefficient(self, campaign):
+        """End to end through the PME: package_model -> from_package."""
+        from repro.core.pme import PriceModelingEngine
+
+        pme = PriceModelingEngine(seed=3)
+        pme.state.campaign_a1 = campaign
+        raw_model = pme.train_model(
+            feature_names=[k for k in campaign.feature_rows()[0]],
+            evaluate=False,
+        )
+        pme.state.time_correction = 1.19
+        loaded = EncryptedPriceModel.from_package(pme.package_model())
+        row = campaign.feature_rows()[0]
+        assert loaded.estimate_one(row) == pytest.approx(
+            raw_model.estimate_one(row) * 1.19
+        )
+
+
 class TestCrossValidation:
     def test_cv_protocol_scores(self, campaign, model):
         rows = campaign.feature_rows()
