@@ -1,0 +1,250 @@
+"""No-op overhead guard for the observability spine.
+
+The cardinal rule of ``repro.obs`` is that *disabled* observability is
+(nearly) free: with no active trace and profiling off, every
+``obs.span`` / ``obs.stage`` call in the hot paths must collapse to one
+ContextVar read and a None check.  This benchmark measures that cost on
+the two tier-1 hot paths the spine instruments most densely:
+
+* the sequential analyzer scan (``WeblogAnalyzer.analyze``), whose
+  per-row work is small enough that any per-call overhead shows; and
+* flattened forest inference (``predict_proba`` over a trained forest),
+  the serve layer's per-request critical path.
+
+For each path it times the *instrumented* disabled-mode code against a
+"stripped" twin that bypasses the obs entry points entirely (the
+pre-instrumentation shape of the code), and asserts the overhead stays
+under the 3% budget.  One JSON record (with the shared
+``_record.provenance()`` fields) lands in
+``benchmarks/output/bench_obs_overhead.json`` so the trajectory is
+comparable across PRs.
+
+Entry points::
+
+    pytest benchmarks/bench_obs_overhead.py -s
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --json benchmarks/output/bench_obs_overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:  # package import under pytest, sibling import as a script
+    from ._record import provenance
+except ImportError:  # pragma: no cover - script mode
+    from _record import provenance
+
+from repro import obs
+from repro.analyzer.interests import PublisherDirectory
+from repro.analyzer.pipeline import WeblogAnalyzer, scan_rows_single_pass
+from repro.analyzer.features import FeatureExtractor
+from repro.ml.forest import RandomForestClassifier
+
+#: The budget the obs spine must honour in disabled mode.
+OVERHEAD_BUDGET = 0.03
+
+#: Repeats for best-of timing (resists noisy-neighbour skew).
+REPEATS = 5
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _overhead(instrumented_s: float, stripped_s: float) -> float:
+    """Relative overhead of the instrumented path (negative = faster)."""
+    if stripped_s <= 0:
+        return 0.0
+    return instrumented_s / stripped_s - 1.0
+
+
+# -- analyzer path -----------------------------------------------------------
+
+def _analyzer_stripped(analyzer: WeblogAnalyzer, rows) -> None:
+    """The analyze() body with the obs entry points bypassed."""
+    extractor = FeatureExtractor.incremental(
+        analyzer.blacklist, analyzer.directory, analyzer.geoip
+    )
+    traffic_counts, indexed = scan_rows_single_pass(
+        enumerate(rows), analyzer.blacklist, extractor
+    )
+    extractor.finalize_interests()
+    [analyzer._to_observation(det, extractor) for _, det in indexed]
+
+
+def measure_analyzer(dataset, directory, repeats: int = REPEATS) -> dict:
+    rows = list(dataset.rows)
+    analyzer = WeblogAnalyzer(directory)
+    assert obs.active_trace() is None and not obs.profiling_enabled()
+    instrumented = _best_of(lambda: analyzer.analyze(rows), repeats)
+    stripped = _best_of(lambda: _analyzer_stripped(analyzer, rows), repeats)
+    return {
+        "path": "analyzer.analyze",
+        "rows": len(rows),
+        "instrumented_s": round(instrumented, 5),
+        "stripped_s": round(stripped, 5),
+        "overhead": round(_overhead(instrumented, stripped), 5),
+    }
+
+
+# -- forest path -------------------------------------------------------------
+
+def _forest_stripped(forest: RandomForestClassifier, x) -> np.ndarray:
+    """predict_proba without the obs.span wrapper."""
+    total = np.zeros((x.shape[0], forest.n_classes_), dtype=float)
+    for tree in forest.trees_:
+        total += forest._aligned_probs(tree, tree.predict_proba(x))
+    return total / len(forest.trees_)
+
+
+def measure_forest(repeats: int = REPEATS) -> dict:
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(1200, 8))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int) + (x[:, 2] > 0.5).astype(int)
+    forest = RandomForestClassifier(
+        n_estimators=30, max_depth=10, seed=3
+    ).fit(x, y)
+    x_pred = np.atleast_2d(np.asarray(rng.normal(size=(2000, 8)), dtype=float))
+    assert obs.active_trace() is None and not obs.profiling_enabled()
+    instrumented = _best_of(lambda: forest.predict_proba(x_pred), repeats)
+    stripped = _best_of(lambda: _forest_stripped(forest, x_pred), repeats)
+    assert np.array_equal(
+        forest.predict_proba(x_pred), _forest_stripped(forest, x_pred)
+    )
+    return {
+        "path": "forest.predict_proba",
+        "rows": int(x_pred.shape[0]),
+        "trees": forest.n_estimators,
+        "instrumented_s": round(instrumented, 5),
+        "stripped_s": round(stripped, 5),
+        "overhead": round(_overhead(instrumented, stripped), 5),
+    }
+
+
+# -- micro path: raw span cost ----------------------------------------------
+
+def measure_span_call(n: int = 200_000) -> dict:
+    """Per-call cost of the disabled span fast path, in nanoseconds."""
+    assert obs.active_trace() is None
+
+    def disabled():
+        for _ in range(n):
+            with obs.span("noop"):
+                pass
+
+    def baseline():
+        for _ in range(n):
+            pass
+
+    disabled_s = _best_of(disabled, 3)
+    baseline_s = _best_of(baseline, 3)
+    return {
+        "path": "span.disabled_call",
+        "calls": n,
+        "ns_per_call": round((disabled_s - baseline_s) / n * 1e9, 1),
+    }
+
+
+def run_all(dataset, directory, repeats: int = REPEATS) -> dict:
+    runs = [
+        measure_analyzer(dataset, directory, repeats),
+        measure_forest(repeats),
+        measure_span_call(),
+    ]
+    worst = max(r["overhead"] for r in runs if "overhead" in r)
+    return {
+        "benchmark": "obs_overhead",
+        "budget": OVERHEAD_BUDGET,
+        "worst_overhead": round(worst, 5),
+        "within_budget": bool(worst < OVERHEAD_BUDGET),
+        **provenance(),
+        "runs": runs,
+    }
+
+
+def _render(record: dict) -> list[str]:
+    lines = [
+        "Disabled-mode observability overhead "
+        f"(budget {record['budget']:.0%}, {record['cpu_count']} CPUs):",
+        "",
+        f"{'path':<24} {'instrumented':>13} {'stripped':>10} {'overhead':>9}",
+    ]
+    for run in record["runs"]:
+        if "overhead" in run:
+            lines.append(
+                f"{run['path']:<24} {run['instrumented_s']:>12.4f}s "
+                f"{run['stripped_s']:>9.4f}s {run['overhead']:>8.2%}"
+            )
+        else:
+            lines.append(
+                f"{run['path']:<24} {run['ns_per_call']:>10.1f} ns/call"
+            )
+    lines.append("")
+    lines.append(
+        f"worst overhead {record['worst_overhead']:.2%} -- "
+        + ("within budget" if record["within_budget"] else "OVER BUDGET")
+    )
+    return lines
+
+
+def _write_json(record: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+
+
+# -- pytest entry point ------------------------------------------------------
+
+def test_obs_disabled_overhead_under_budget(dataset_d, directory):
+    from .conftest import OUTPUT_DIR, emit
+
+    record = run_all(dataset_d, directory)
+    _write_json(record, OUTPUT_DIR / "bench_obs_overhead.json")
+    emit("obs_overhead", _render(record) + ["", json.dumps(record)])
+    assert record["within_budget"], (
+        f"disabled-mode obs overhead {record['worst_overhead']:.2%} "
+        f"exceeds the {OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
+# -- standalone script -------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="fraction of paper-scale dataset D (default 0.1)")
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the JSON record to this path")
+    args = parser.parse_args(argv)
+
+    from repro.trace.simulate import default_config, simulate_dataset
+
+    config = default_config()
+    if args.scale < 0.999:
+        config = config.scaled(args.scale)
+    print(f"simulating dataset D at scale {args.scale}...", file=sys.stderr)
+    dataset = simulate_dataset(config)
+    directory = PublisherDirectory.from_universe(dataset.universe)
+
+    record = run_all(dataset, directory, repeats=args.repeats)
+    print("\n".join(_render(record)), file=sys.stderr)
+    print(json.dumps(record, indent=2))
+    if args.json:
+        _write_json(record, args.json)
+    return 0 if record["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

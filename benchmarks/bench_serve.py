@@ -111,12 +111,12 @@ async def _measure(
             total=min(128, requests), concurrency=concurrency,
             features=features,
         )
-        warm_flushes = sum(server.metrics.batch_sizes.values())
+        warm_flushes = sum(server.metrics.batch_histogram().values())
         result = await run_load(
             "127.0.0.1", server.port,
             total=requests, concurrency=concurrency, features=features,
         )
-        flushes = sum(server.metrics.batch_sizes.values()) - warm_flushes
+        flushes = sum(server.metrics.batch_histogram().values()) - warm_flushes
         assert result.errors == 0, f"{result.errors} estimate errors"
         return {
             "max_batch": max_batch,

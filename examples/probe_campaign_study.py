@@ -25,6 +25,7 @@ from repro.core.campaigns import (
     run_campaign_a1,
     run_campaign_a2,
 )
+from repro.core.estimator import Estimator
 from repro.core.pme import PAPER_FEATURE_SET
 from repro.core.price_model import EncryptedPriceModel, regression_baseline
 from repro.rtb.entities import ENCRYPTING_ADXS
@@ -97,8 +98,9 @@ def main() -> None:
               time_of_day=5, day_of_week=3, slot_size="728x90",
               publisher_iab="IAB12", adx="Rubicon", os="iOS")),
     ]
+    estimator = Estimator(model)
     for label, features in scenarios:
-        estimate = model.estimate_one(features)
+        estimate = estimator.estimate_one(features)
         print(f"  {label:<45} -> {estimate:.2f} CPM")
 
 

@@ -24,6 +24,7 @@ Quickstart::
 
 from repro.core import (
     EncryptedPriceModel,
+    Estimator,
     PriceModelingEngine,
     YourAdValue,
     compute_user_costs,
@@ -36,6 +37,7 @@ __version__ = "1.0.0"
 __all__ = [
     "PriceModelingEngine",
     "EncryptedPriceModel",
+    "Estimator",
     "YourAdValue",
     "compute_user_costs",
     "WeblogAnalyzer",
@@ -49,7 +51,8 @@ __all__ = [
 
 
 def quickstart_pipeline(
-    seed: int = 7, scale: float = 0.03, workers: int | None = 1
+    seed: int = 7, scale: float = 0.03, workers: int | None = 1,
+    chunk_size: int | None = None,
 ) -> dict:
     """Run the whole methodology end-to-end at a small scale.
 
@@ -57,17 +60,24 @@ def quickstart_pipeline(
     campaigns, trains the price model, computes per-user costs, and
     replays one user's traffic through a YourAdValue client.  Returns a
     dict with the main artefacts; see ``examples/quickstart.py`` for a
-    narrated version.  ``workers`` parallelises the forest training
-    step (bit-identical to ``workers=1``).
+    narrated version.  ``workers`` parallelises both the analyzer scan
+    (sharded by user) and the forest training step; any value is
+    bit-identical to ``workers=1``.  ``chunk_size`` bounds the rows per
+    analyzer task.  Run under ``with repro.obs.start_trace(...):`` to
+    capture the per-stage span tree.
     """
+    from repro import obs
     from repro.trace import build_market, default_config
     from repro.util.rng import RngRegistry
 
     config = default_config().scaled(scale)
-    dataset = simulate_dataset(config)
+    with obs.stage("quickstart.simulate", scale=scale):
+        dataset = simulate_dataset(config)
     directory = PublisherDirectory.from_universe(dataset.universe)
     analyzer = WeblogAnalyzer(directory)
-    analysis = analyzer.analyze(dataset.rows)
+    analysis = analyzer.analyze(
+        dataset.rows, workers=workers, chunk_size=chunk_size
+    )
 
     pme = PriceModelingEngine(seed=seed)
     pme.bootstrap(analysis, use_paper_features=True)
@@ -83,8 +93,9 @@ def quickstart_pipeline(
     # coefficient to encrypted estimates (cleartext sums are corrected
     # inside compute_user_costs as before).
     package = pme.package_model()
-    packaged_model = EncryptedPriceModel.from_package(package)
-    costs = compute_user_costs(analysis, packaged_model, pme.state.time_correction)
+    estimator = Estimator.from_package(package)
+    with obs.stage("quickstart.user_costs", users=config.n_users):
+        costs = compute_user_costs(analysis, estimator, pme.state.time_correction)
 
     client = YourAdValue(package, directory)
     heaviest = max(costs.values(), key=lambda c: c.total_cpm).user_id
@@ -95,6 +106,7 @@ def quickstart_pipeline(
         "analysis": analysis,
         "pme": pme,
         "model": model,
+        "estimator": estimator,
         "costs": costs,
         "client": client,
         "summary": client.summary(),

@@ -41,9 +41,11 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 from collections import Counter, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 from zlib import crc32
+
+from repro import obs
 
 from repro.analyzer.blacklist import DomainBlacklist, default_blacklist
 from repro.analyzer.detector import DetectedNotification
@@ -57,6 +59,7 @@ from repro.analyzer.pipeline import (
     scan_rows_single_pass,
 )
 from repro.trace.weblog import HttpRequest
+from repro.util.validation import reject_legacy_kwargs
 
 __all__ = [
     "ShardPartial",
@@ -73,7 +76,17 @@ def shard_of(user_id: str, n_shards: int) -> int:
 
 @dataclass
 class ShardPartial:
-    """One worker's single-pass result over one chunk of one shard."""
+    """One worker's single-pass result over one chunk of one shard.
+
+    ``spans`` carries the worker's serialised trace records
+    (:meth:`repro.obs.trace.Trace.to_dicts`) for its chunk; the
+    coordinator :func:`repro.obs.trace.graft`\\ s them under its own
+    ``analyzer.merge`` span so ``repro obs dump`` shows one stitched
+    tree.  Empty when the coordinator ran without an active trace (the
+    worker still records its own chunk-local trace, but shipping it is
+    pointless) -- and defaulted so hand-built partials in tests keep
+    working.
+    """
 
     shard: int
     seq: int                     # chunk sequence number within the shard
@@ -81,57 +94,90 @@ class ShardPartial:
     notifications: list[tuple[int, DetectedNotification]]
     observations: list[tuple[int, PriceObservation]]
     extractor: FeatureExtractor
+    spans: list[dict] = field(default_factory=list)
 
 
 # -- worker side ------------------------------------------------------------
 
 _WORKER_ANALYZER: WeblogAnalyzer | None = None
+_WORKER_TRACING: bool = False
 
 
 def _init_worker(
     directory: PublisherDirectory,
     blacklist: DomainBlacklist,
     geoip: GeoIpResolver,
+    tracing: bool = False,
 ) -> None:
-    """Pool initializer: build the per-process analyzer once, not per chunk."""
-    global _WORKER_ANALYZER
+    """Pool initializer: build the per-process analyzer once, not per chunk.
+
+    ``tracing`` mirrors whether the *coordinator* had an active trace
+    when the pool was built: workers cannot see the coordinator's
+    context var, so the flag rides the initargs and turns per-chunk
+    span collection on only when someone will stitch the spans.
+    """
+    global _WORKER_ANALYZER, _WORKER_TRACING
     _WORKER_ANALYZER = WeblogAnalyzer(directory, blacklist, geoip)
+    _WORKER_TRACING = bool(tracing)
 
 
 def _analyze_chunk(
     task: tuple[int, int, list[tuple[int, HttpRequest]]],
 ) -> ShardPartial:
     """Single-pass over one chunk: classify once, feed histogram +
-    detection + features, emit indexed observations."""
+    detection + features, emit indexed observations.
+
+    When tracing is on, the chunk's work runs under a local
+    ``analyzer.shard`` trace whose serialised records ship home in
+    :attr:`ShardPartial.spans` for coordinator-side grafting.
+    """
     shard, seq, indexed_rows = task
     analyzer = _WORKER_ANALYZER
     if analyzer is None:  # sequential fallback path (workers=1, tests)
         raise RuntimeError("worker used before _init_worker")
-    extractor = FeatureExtractor.incremental(
-        analyzer.blacklist, analyzer.directory, analyzer.geoip
+    collector = (
+        obs.start_trace(
+            "analyzer.shard", shard=shard, seq=seq, rows=len(indexed_rows)
+        )
+        if _WORKER_TRACING
+        else None
     )
-    traffic_counts, notifications = scan_rows_single_pass(
-        indexed_rows, analyzer.blacklist, extractor
-    )
-    observations = [
-        (index, analyzer._to_observation(det, extractor))
-        for index, det in notifications
-    ]
-    # Strip the lookup tables (blacklist sets, directory, geoip with its
-    # memo) before pickling the partial back to the coordinator: merge
-    # only needs the aggregate state, and the coordinator re-attaches
-    # its own tables to the merged extractor.
-    extractor.blacklist = None  # type: ignore[assignment]
-    extractor.directory = None  # type: ignore[assignment]
-    extractor.geoip = None  # type: ignore[assignment]
-    return ShardPartial(
-        shard=shard,
-        seq=seq,
-        traffic_counts=traffic_counts,
-        notifications=notifications,
-        observations=observations,
-        extractor=extractor,
-    )
+
+    def _scan() -> ShardPartial:
+        extractor = FeatureExtractor.incremental(
+            analyzer.blacklist, analyzer.directory, analyzer.geoip
+        )
+        with obs.span("analyzer.scan"):
+            traffic_counts, notifications = scan_rows_single_pass(
+                indexed_rows, analyzer.blacklist, extractor
+            )
+        with obs.span("analyzer.observations"):
+            observations = [
+                (index, analyzer._to_observation(det, extractor))
+                for index, det in notifications
+            ]
+        # Strip the lookup tables (blacklist sets, directory, geoip with
+        # its memo) before pickling the partial back to the coordinator:
+        # merge only needs the aggregate state, and the coordinator
+        # re-attaches its own tables to the merged extractor.
+        extractor.blacklist = None  # type: ignore[assignment]
+        extractor.directory = None  # type: ignore[assignment]
+        extractor.geoip = None  # type: ignore[assignment]
+        return ShardPartial(
+            shard=shard,
+            seq=seq,
+            traffic_counts=traffic_counts,
+            notifications=notifications,
+            observations=observations,
+            extractor=extractor,
+        )
+
+    if collector is None:
+        return _scan()
+    with collector:
+        partial = _scan()
+    partial.spans = collector.to_dicts()
+    return partial
 
 
 # -- coordinator side -------------------------------------------------------
@@ -170,16 +216,22 @@ def merge_partials(
     indexed_notifications: list[tuple[int, DetectedNotification]] = []
     indexed_observations: list[tuple[int, PriceObservation]] = []
     extractor = FeatureExtractor.incremental(blacklist, directory, geoip)
-    for partial in sorted(partials, key=lambda p: (p.shard, p.seq)):
-        merged_traffic.update(partial.traffic_counts)
-        indexed_notifications.extend(partial.notifications)
-        indexed_observations.extend(partial.observations)
-        extractor.merge_from(partial.extractor)
-    extractor.finalize_interests()
-    indexed_notifications.sort(key=lambda pair: pair[0])
-    indexed_observations.sort(key=lambda pair: pair[0])
+    with obs.span("analyzer.merge", partials=len(partials)):
+        for partial in sorted(partials, key=lambda p: (p.shard, p.seq)):
+            merged_traffic.update(partial.traffic_counts)
+            indexed_notifications.extend(partial.notifications)
+            indexed_observations.extend(partial.observations)
+            extractor.merge_from(partial.extractor)
+            if partial.spans:
+                # Stitch the worker's chunk trace under this merge span;
+                # iterating partials in (shard, seq) order keeps the
+                # grafted sibling order deterministic across runs.
+                obs.graft(partial.spans)
+        extractor.finalize_interests()
+        indexed_notifications.sort(key=lambda pair: pair[0])
+        indexed_observations.sort(key=lambda pair: pair[0])
     return AnalysisResult(
-        observations=[obs for _, obs in indexed_observations],
+        observations=[o for _, o in indexed_observations],
         traffic_counts=merged_traffic,
         extractor=extractor,
         notifications=[det for _, det in indexed_notifications],
@@ -200,6 +252,7 @@ def analyze_parallel(
     geoip: GeoIpResolver | None = None,
     workers: int | None = None,
     chunk_size: int = 50_000,
+    **legacy,
 ) -> AnalysisResult:
     """Sharded parallel equivalent of :meth:`WeblogAnalyzer.analyze`.
 
@@ -209,7 +262,12 @@ def analyze_parallel(
     the single-pass sequential path in-process (no pool overhead).
     The returned result is identical to the sequential analyzer's:
     same observation order, traffic counts, and per-user aggregates.
+
+    Only ``workers=`` / ``chunk_size=`` are accepted; legacy spellings
+    (``n_jobs``, ``chunksize``, ...) raise a TypeError naming the
+    replacement.
     """
+    reject_legacy_kwargs("analyze_parallel", legacy)
     blacklist = blacklist or default_blacklist()
     geoip = geoip or GeoIpResolver()
     if workers is None:
@@ -219,19 +277,26 @@ def analyze_parallel(
     if workers <= 1:
         return WeblogAnalyzer(directory, blacklist, geoip).analyze(rows)
 
-    ctx = _pool_context()
-    partials: list[ShardPartial] = []
-    max_inflight = 2 * workers
-    with ctx.Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(directory, blacklist, geoip),
-    ) as pool:
-        inflight: deque = deque()
-        for task in _chunk_tasks(rows, workers, chunk_size):
-            while len(inflight) >= max_inflight:
-                partials.append(inflight.popleft().get())
-            inflight.append(pool.apply_async(_analyze_chunk, (task,)))
-        while inflight:
-            partials.append(inflight.popleft().get())
-    return merge_partials(partials, blacklist, directory, geoip)
+    with obs.stage(
+        "analyzer.analyze", workers=workers, chunk_size=chunk_size
+    ) as st:
+        tracing = obs.active_trace() is not None
+        ctx = _pool_context()
+        partials: list[ShardPartial] = []
+        max_inflight = 2 * workers
+        with obs.span("analyzer.dispatch"):
+            with ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(directory, blacklist, geoip, tracing),
+            ) as pool:
+                inflight: deque = deque()
+                for task in _chunk_tasks(rows, workers, chunk_size):
+                    while len(inflight) >= max_inflight:
+                        partials.append(inflight.popleft().get())
+                    inflight.append(pool.apply_async(_analyze_chunk, (task,)))
+                while inflight:
+                    partials.append(inflight.popleft().get())
+        st.set(chunks=len(partials))
+        result = merge_partials(partials, blacklist, directory, geoip)
+    return result

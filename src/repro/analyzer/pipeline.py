@@ -11,8 +11,10 @@ ground truth.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, fields
+from typing import Callable, Iterable
+
+from repro import obs
 
 from repro.analyzer.blacklist import (
     GROUP_ADVERTISING,
@@ -27,6 +29,7 @@ from repro.analyzer.useragent import parse_user_agent
 from repro.rtb.nurl import parse_nurl
 from repro.trace.weblog import HttpRequest
 from repro.util.timeutil import month_of, year_of
+from repro.util.validation import reject_legacy_kwargs
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,14 @@ class PriceObservation:
     @property
     def year(self) -> int:
         return year_of(self.timestamp)
+
+
+#: Valid string keys for :meth:`AnalysisResult.prices_by`: the paper's
+#: observation attributes (feature-group fields) plus the derived
+#: ``month`` / ``year`` properties.
+_OBSERVATION_KEYS: frozenset[str] = frozenset(
+    f.name for f in fields(PriceObservation)
+) | {"month", "year"}
 
 
 @dataclass
@@ -134,12 +145,36 @@ class AnalysisResult:
             return {}
         return {adx: n / total for adx, n in counts.most_common()}
 
-    def prices_by(self, key) -> dict:
-        """Group cleartext prices by an observation attribute or callable."""
+    def prices_by(self, key: str | Callable[[PriceObservation], object]) -> dict:
+        """Group cleartext prices by an observation attribute or callable.
+
+        ``key`` is either a callable mapping a :class:`PriceObservation`
+        to a group label, or the *name* of an observation attribute (a
+        dataclass field, or the derived ``month`` / ``year``
+        properties).  Invalid names used to fall through ``getattr`` and
+        crash opaquely (or, with a typo'd callable check, silently
+        produce an empty grouping); now they raise :class:`ValueError`
+        listing the valid keys.
+        """
+        if callable(key):
+            getter = key
+        elif isinstance(key, str):
+            if key not in _OBSERVATION_KEYS:
+                raise ValueError(
+                    f"prices_by key {key!r} is not a PriceObservation "
+                    f"attribute; valid keys: {', '.join(sorted(_OBSERVATION_KEYS))}"
+                )
+
+            def getter(o: PriceObservation, _name: str = key):
+                return getattr(o, _name)
+        else:
+            raise TypeError(
+                "prices_by key must be a string attribute name or a "
+                f"callable, got {type(key).__name__}"
+            )
         groups: dict = defaultdict(list)
-        for obs in self.cleartext():
-            value = key(obs) if callable(key) else getattr(obs, key)
-            groups[value].append(obs.price_cpm)
+        for observation in self.cleartext():
+            groups[getter(observation)].append(observation.price_cpm)
         return dict(groups)
 
     def monthly_os_counts(self) -> dict[int, Counter]:
@@ -223,6 +258,7 @@ class WeblogAnalyzer:
         *,
         workers: int | None = None,
         chunk_size: int | None = None,
+        **legacy,
     ) -> AnalysisResult:
         """Run the full pipeline over weblog rows.
 
@@ -233,7 +269,12 @@ class WeblogAnalyzer:
         sharded by ``user_id`` hash across processes (see
         :func:`repro.analyzer.parallel.analyze_parallel`) and the merged
         result is identical to the sequential one.
+
+        Only ``workers=`` / ``chunk_size=`` are accepted; legacy
+        spellings (``n_jobs``, ``chunksize``, ...) raise a TypeError
+        naming the replacement.
         """
+        reject_legacy_kwargs("WeblogAnalyzer.analyze", legacy)
         if workers is not None and workers > 1:
             from repro.analyzer.parallel import analyze_parallel
 
@@ -245,17 +286,24 @@ class WeblogAnalyzer:
                 workers=workers,
                 chunk_size=chunk_size or 50_000,
             )
-        extractor = FeatureExtractor.incremental(
-            self.blacklist, self.directory, self.geoip
-        )
-        traffic_counts, indexed = scan_rows_single_pass(
-            enumerate(rows), self.blacklist, extractor
-        )
-        extractor.finalize_interests()
-        notifications = [det for _, det in indexed]
-        observations = [
-            self._to_observation(det, extractor) for det in notifications
-        ]
+        with obs.stage("analyzer.analyze", workers=1) as st:
+            extractor = FeatureExtractor.incremental(
+                self.blacklist, self.directory, self.geoip
+            )
+            with obs.span("analyzer.scan"):
+                traffic_counts, indexed = scan_rows_single_pass(
+                    enumerate(rows), self.blacklist, extractor
+                )
+            extractor.finalize_interests()
+            with obs.span("analyzer.observations"):
+                notifications = [det for _, det in indexed]
+                observations = [
+                    self._to_observation(det, extractor) for det in notifications
+                ]
+            st.set(
+                rows=int(sum(traffic_counts.values())),
+                observations=len(observations),
+            )
         return AnalysisResult(
             observations=observations,
             traffic_counts=traffic_counts,

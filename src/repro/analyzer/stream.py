@@ -21,10 +21,12 @@ was produced.
 
 from __future__ import annotations
 
+import time
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro import obs
 from repro.analyzer.blacklist import (
     GROUP_ADVERTISING,
     GROUP_REST,
@@ -121,11 +123,30 @@ class StreamingAnalyzer:
         return observation
 
     def process_many(self, rows: Iterable[HttpRequest]) -> Iterator[PriceObservation]:
-        """Consume a row stream, yielding observations as they appear."""
+        """Consume a row stream, yielding observations as they appear.
+
+        Instrumentation note: the per-row :meth:`process` is the hot
+        path and carries no span of its own, and a generator must not
+        hold an *open* span across its yields (the suspended span would
+        become the caller's current parent).  Instead the drain is
+        timed locally and recorded as one pre-measured
+        ``analyzer.stream`` event when the stream is exhausted.
+        """
+        rows_before = self.rows_seen
+        observations_before = len(self.observations)
+        start_wall = time.time()
+        t0 = time.perf_counter()
         for row in rows:
             observation = self.process(row)
             if observation is not None:
                 yield observation
+        obs.event(
+            "analyzer.stream",
+            duration=time.perf_counter() - t0,
+            start=start_wall,
+            rows=self.rows_seen - rows_before,
+            observations=len(self.observations) - observations_before,
+        )
 
     def process_file(self, path) -> Iterator[PriceObservation]:
         """Stream a weblog CSV(.gz) straight off disk with bounded memory.

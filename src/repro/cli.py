@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands mirror the deployment's moving parts:
+Six subcommands mirror the deployment's moving parts:
 
 * ``simulate`` -- generate a dataset-D weblog (and its publisher
   directory) to disk;
@@ -14,7 +14,15 @@ Five subcommands mirror the deployment's moving parts:
 * ``serve`` -- run the PME as a long-running asyncio HTTP service
   (micro-batched ``/estimate``, ``/model`` distribution with ETags,
   ``/contribute`` ingestion; ``--bootstrap`` additionally trains an
-  in-process PME so contributions can trigger retrain + hot reload).
+  in-process PME so contributions can trigger retrain + hot reload);
+* ``obs`` -- inspect the observability dump the traced commands
+  (``pipeline``, ``analyze``) write: the stitched span tree plus the
+  metrics table (``repro obs dump``).
+
+Parallelism/IO knobs are spelled ``--workers`` / ``--chunk-size``
+everywhere (and ``workers=`` / ``chunk_size=`` in the API; legacy
+spellings like ``n_jobs``/``chunksize`` raise a TypeError naming the
+replacement).
 
 Examples::
 
@@ -23,7 +31,9 @@ Examples::
     python -m repro.cli analyze --weblog weblog.csv.gz \
         --directory directory.csv --out observations.csv \
         --workers 4 --chunk-size 50000
-    python -m repro.cli pipeline --scale 0.05 --model model.json.gz
+    python -m repro.cli pipeline --scale 0.05 --model model.json.gz \
+        --workers 4
+    python -m repro.cli obs dump
     python -m repro.cli estimate --model model.json.gz \
         --features '{"context": "app", "publisher_iab": "IAB3", ...}'
     python -m repro.cli serve --model model.json.gz --port 8080 \
@@ -76,6 +86,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.analyzer.pipeline import WeblogAnalyzer
     from repro.io import iter_weblog_csv
 
@@ -89,9 +100,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     # Stream straight off disk: the single-pass analyzer (and the
     # sharded parallel path behind --workers) never materialise the log.
     rows = iter_weblog_csv(args.weblog)
-    analysis = WeblogAnalyzer(directory).analyze(
-        rows, workers=args.workers, chunk_size=args.chunk_size
-    )
+    with obs.start_trace("analyze", workers=args.workers) as trace:
+        analysis = WeblogAnalyzer(directory).analyze(
+            rows, workers=args.workers, chunk_size=args.chunk_size
+        )
+    dump_path = obs.save_dump(args.obs_out, trace=trace)
+    print(f"observability dump written to {dump_path}", file=sys.stderr)
     n_rows = sum(analysis.traffic_counts.values())
     count = write_observations_csv(analysis.observations, args.out)
     print(f"analyzed {n_rows:,} rows -> {count:,} price observations ({args.out})")
@@ -114,15 +128,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
-    from repro import quickstart_pipeline
+    from repro import obs, quickstart_pipeline
     from repro.core.cost import CostDistribution
 
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
-    result = quickstart_pipeline(
-        seed=args.seed or DEFAULT_SEED, scale=args.scale, workers=args.workers
-    )
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print("error: --chunk-size must be >= 1", file=sys.stderr)
+        return 2
+    with obs.start_trace(
+        "pipeline", scale=args.scale, workers=args.workers
+    ) as trace:
+        result = quickstart_pipeline(
+            seed=args.seed or DEFAULT_SEED, scale=args.scale,
+            workers=args.workers, chunk_size=args.chunk_size,
+        )
+    dump_path = obs.save_dump(args.obs_out, trace=trace)
+    print(f"observability dump written to {dump_path}", file=sys.stderr)
     pme = result["pme"]
     package = pme.package_model()
     save_model_package(package, args.model)
@@ -146,10 +169,13 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    from repro.core.price_model import EncryptedPriceModel
+    from repro.core.estimator import Estimator
 
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print("error: --chunk-size must be >= 1", file=sys.stderr)
+        return 2
     package = load_model_package(args.model)
-    model = EncryptedPriceModel.from_package(package)
+    estimator = Estimator.from_package(package)
     if args.features_file:
         try:
             text = open(args.features_file, "r", encoding="utf-8").read()
@@ -164,7 +190,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             print(f"error: --features is not valid JSON: {exc}", file=sys.stderr)
             return 2
     if isinstance(features, dict):
-        estimate = model.estimate_one(features)
+        estimate = estimator.estimate_one(features)
         print(json.dumps({"estimated_cpm": round(estimate, 4)}))
         return 0
     if isinstance(features, list):
@@ -173,12 +199,13 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         # Batch scoring: one encode + one vectorised pass through the
-        # flattened forest, not a per-row loop.
-        estimates = model.estimate(features)
+        # flattened forest, not a per-row loop.  --chunk-size bounds
+        # rows per pass (memory control); results are identical.
+        result = estimator.estimate(features, chunk_size=args.chunk_size)
         print(
             json.dumps(
                 {
-                    "estimated_cpm": [round(float(v), 4) for v in estimates],
+                    "estimated_cpm": [round(float(v), 4) for v in result.prices],
                     "count": len(features),
                 }
             )
@@ -233,7 +260,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
         retrain_min_new_rows=args.retrain_min_new_rows,
-        retrain_workers=args.workers,
+        workers=args.workers,
     )
     retrain = "enabled" if server.retrain_enabled else "disabled"
     print(
@@ -248,6 +275,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if args.obs_command == "dump":
+        try:
+            payload = obs.load_dump(args.path)
+        except FileNotFoundError:
+            target = args.path or obs.default_dump_path()
+            print(
+                f"error: no observability dump at {target} -- run "
+                "'repro pipeline' or 'repro analyze' first, or pass --path",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(obs.render_dump(payload))
+        return 0
+    print(f"error: unknown obs command {args.obs_command!r}", file=sys.stderr)
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -276,6 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--chunk-size", type=int, default=50_000,
                       help="rows dispatched to a worker per task; bounds "
                            "coordinator memory (default 50000)")
+    p_an.add_argument("--obs-out", default=None,
+                      help="observability dump path (default "
+                           "$REPRO_OBS_PATH or .repro_obs/last_run.json)")
     p_an.set_defaults(func=_cmd_analyze)
 
     p_pipe = sub.add_parser("pipeline", help="simulate + analyze + train")
@@ -283,8 +339,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("--seed", type=int, default=None)
     p_pipe.add_argument("--model", required=True, help="model JSON(.gz) path")
     p_pipe.add_argument("--workers", type=int, default=1,
-                        help="forest-training processes; member trees fit in "
-                             "parallel, bit-identical to --workers 1 (default 1)")
+                        help="processes for the analyzer scan and forest "
+                             "training; bit-identical to --workers 1 "
+                             "(default 1)")
+    p_pipe.add_argument("--chunk-size", type=int, default=None,
+                        help="rows dispatched per analyzer task when "
+                             "--workers > 1 (default 50000)")
+    p_pipe.add_argument("--obs-out", default=None,
+                        help="observability dump path (default "
+                             "$REPRO_OBS_PATH or .repro_obs/last_run.json)")
     p_pipe.set_defaults(func=_cmd_pipeline)
 
     p_est = sub.add_parser("estimate",
@@ -297,7 +360,25 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--features-file",
                        help="path to a JSON file holding one feature object "
                             "or an array of them (batch scoring)")
+    p_est.add_argument("--chunk-size", type=int, default=None,
+                       help="rows encoded + scored per pass in batch mode "
+                            "(memory bound; results identical)")
     p_est.set_defaults(func=_cmd_estimate)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect the observability dump of the last traced run"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_dump = obs_sub.add_parser(
+        "dump", help="render the span tree + metrics of the last run"
+    )
+    p_dump.add_argument("--path", default=None,
+                        help="dump file (default $REPRO_OBS_PATH or "
+                             ".repro_obs/last_run.json)")
+    p_dump.add_argument("--json", action="store_true",
+                        help="print the raw JSON payload instead of the "
+                             "rendered tree")
+    p_dump.set_defaults(func=_cmd_obs)
 
     p_srv = sub.add_parser(
         "serve", help="run the PME as a long-running HTTP service"

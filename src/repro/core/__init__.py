@@ -42,6 +42,7 @@ from repro.core.cost import (
     exchange_revenue_estimates,
     observation_features,
 )
+from repro.core.estimator import EstimateResult, Estimator
 from repro.core.feature_selection import (
     DimensionalityReducer,
     SelectionReport,
@@ -99,6 +100,8 @@ __all__ = [
     "PAPER_FEATURE_SET",
     "mopub_cleartext_prices",
     "EncryptedPriceModel",
+    "Estimator",
+    "EstimateResult",
     "regression_baseline",
     "RegressionBaselineResult",
     "PAPER_TP_RATE",

@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro import obs
+
 #: Fields a contribution may carry -- anything else is rejected.
 ALLOWED_FIELDS = frozenset(
     {
@@ -67,19 +69,19 @@ class ContributionServer:
         """
         present_forbidden = FORBIDDEN_FIELDS & set(record)
         if present_forbidden:
-            self._rejected += 1
+            self._reject("identifying_fields")
             raise ContributionError(
                 f"record carries identifying fields: {sorted(present_forbidden)}"
             )
         unknown = set(record) - ALLOWED_FIELDS
         if unknown:
-            self._rejected += 1
+            self._reject("unknown_fields")
             raise ContributionError(f"unknown fields: {sorted(unknown)}")
         price = record.get("price_cpm")
         if not isinstance(price, (int, float)) or not (
             MIN_PRICE_CPM <= price <= MAX_PRICE_CPM
         ):
-            self._rejected += 1
+            self._reject("implausible_price")
             raise ContributionError(f"implausible price {price!r}")
 
         self._records.append(dict(record))
@@ -97,7 +99,17 @@ class ContributionServer:
             # retroactively, new record included.
             self._releasable += self._records_per_key[key]
         self._accepted += 1
+        obs.registry().counter(
+            "contributions.accepted", "contribution records accepted"
+        ).inc()
         return True
+
+    def _reject(self, reason: str) -> None:
+        """Bump the local tally and the labeled registry counter."""
+        self._rejected += 1
+        obs.registry().counter(
+            "contributions.rejected", "contribution records rejected"
+        ).inc(reason=reason)
 
     def submit_batch(self, records: list[dict], contributor_token: int) -> int:
         """Submit many records; returns how many were accepted."""

@@ -14,7 +14,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analyzer.pipeline import AnalysisResult, PriceObservation
+from repro.core.estimator import Estimator
 from repro.core.price_model import EncryptedPriceModel
+
+
+def _as_estimator(model: EncryptedPriceModel | Estimator) -> Estimator:
+    """Accept either the raw model or the facade; estimate via the facade."""
+    return model if isinstance(model, Estimator) else Estimator(model)
 
 
 @dataclass(frozen=True)
@@ -85,14 +91,14 @@ def observation_features(obs: PriceObservation) -> dict:
 
 def compute_user_costs(
     analysis: AnalysisResult,
-    model: EncryptedPriceModel,
+    model: EncryptedPriceModel | Estimator,
     time_correction: float = 1.0,
 ) -> dict[str, UserCost]:
     """Tally every user's C_u and estimate their E_u.
 
-    Encrypted estimates are batched through the model for speed; the
-    time-correction coefficient scales cleartext sums from the weblog's
-    year to campaign time (paper section 6.2).
+    Encrypted estimates are batched through the estimation facade for
+    speed; the time-correction coefficient scales cleartext sums from
+    the weblog's year to campaign time (paper section 6.2).
     """
     if time_correction <= 0:
         raise ValueError("time_correction must be positive")
@@ -105,7 +111,7 @@ def compute_user_costs(
     encrypted_obs = analysis.encrypted()
     if encrypted_obs:
         rows = [observation_features(o) for o in encrypted_obs]
-        estimates = model.estimate(rows)
+        estimates = _as_estimator(model).estimate(rows).prices
         for obs, estimate in zip(encrypted_obs, estimates):
             encrypted_sum[obs.user_id] += float(estimate)
             encrypted_n[obs.user_id] += 1
@@ -195,7 +201,7 @@ class ExchangeRevenue:
 
 def exchange_revenue_estimates(
     analysis: AnalysisResult,
-    model: EncryptedPriceModel,
+    model: EncryptedPriceModel | Estimator,
 ) -> dict[str, ExchangeRevenue]:
     """Estimate every exchange's revenue from observed notifications.
 
@@ -215,7 +221,7 @@ def exchange_revenue_estimates(
     encrypted_obs = analysis.encrypted()
     if encrypted_obs:
         rows = [observation_features(o) for o in encrypted_obs]
-        estimates = model.estimate(rows)
+        estimates = _as_estimator(model).estimate(rows).prices
         for obs, estimate in zip(encrypted_obs, estimates):
             enc_sum[obs.adx] += float(estimate)
             enc_n[obs.adx] += 1
@@ -234,7 +240,7 @@ def exchange_revenue_estimates(
 
 def estimation_accuracy(
     analysis: AnalysisResult,
-    model: EncryptedPriceModel,
+    model: EncryptedPriceModel | Estimator,
     true_prices_by_token: dict[str, float],
 ) -> dict[str, float]:
     """Score encrypted estimates against simulator ground truth.
@@ -250,12 +256,14 @@ def estimation_accuracy(
     if not encrypted_obs:
         raise ValueError("no encrypted observations with known ground truth")
     rows = [observation_features(o) for o in encrypted_obs]
-    estimates = model.estimate(rows)
+    estimator = _as_estimator(model)
+    result = estimator.estimate(rows)
+    estimates = result.prices
     truths = np.array(
         [true_prices_by_token[o.encrypted_token] for o in encrypted_obs]
     )
-    true_classes = model.binner.assign(truths)
-    pred_classes = model.predict_class(rows)
+    true_classes = estimator.model.binner.assign(truths)
+    pred_classes = result.classes
     abs_log_err = np.abs(np.log(estimates) - np.log(truths))
     return {
         "n": len(encrypted_obs),

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analyzer.pipeline import AnalysisResult
 from repro.core.campaigns import (
     CampaignResult,
@@ -32,6 +33,7 @@ from repro.ml.model_selection import CrossValidationResult
 from repro.stats.distributions import median_ratio
 from repro.trace.simulate import MarketState
 from repro.util.rng import derive_seed
+from repro.util.validation import reject_legacy_kwargs
 
 #: The paper's final selected feature set S (section 5.1) -- the PME
 #: falls back to it when asked to skip the selection step.
@@ -85,19 +87,34 @@ class PriceModelingEngine:
             self.state.selected_features = list(PAPER_FEATURE_SET)
             return self.state.selected_features
 
-        rows = []
-        prices = []
-        for obs, det in zip(analysis.observations, analysis.notifications):
-            if obs.is_encrypted or obs.price_cpm is None or obs.price_cpm <= 0:
-                continue
-            rows.append(analysis.extractor.full_vector(det))
-            prices.append(obs.price_cpm)
-        if len(rows) < 50:
-            raise ValueError("not enough cleartext observations to bootstrap")
-        reducer = reducer or DimensionalityReducer(seed=derive_seed(self.seed, "dimred"))
-        report = reducer.fit(rows, prices)
-        self.state.selection = report
-        self.state.selected_features = list(report.selected_features)
+        with obs.stage(
+            "pme.bootstrap", observations=len(analysis.observations)
+        ) as st:
+            rows = []
+            prices = []
+            for observation, det in zip(
+                analysis.observations, analysis.notifications
+            ):
+                if (
+                    observation.is_encrypted
+                    or observation.price_cpm is None
+                    or observation.price_cpm <= 0
+                ):
+                    continue
+                rows.append(analysis.extractor.full_vector(det))
+                prices.append(observation.price_cpm)
+            if len(rows) < 50:
+                raise ValueError("not enough cleartext observations to bootstrap")
+            reducer = reducer or DimensionalityReducer(
+                seed=derive_seed(self.seed, "dimred")
+            )
+            report = reducer.fit(rows, prices)
+            self.state.selection = report
+            self.state.selected_features = list(report.selected_features)
+            st.set(
+                cleartext_rows=len(rows),
+                selected=len(self.state.selected_features),
+            )
         return self.state.selected_features
 
     # -- step 2: probing ad-campaigns ---------------------------------------
@@ -112,12 +129,17 @@ class PriceModelingEngine:
         185 auctions per setup is the paper's section-5.2 sizing (the
         within-campaign margin-of-error bound).
         """
-        a1 = run_campaign_a1(
-            market, seed=self.seed, auctions_per_setup=auctions_per_setup
-        )
-        a2 = run_campaign_a2(
-            market, seed=self.seed, auctions_per_setup=auctions_per_setup
-        )
+        with obs.stage(
+            "pme.probe_campaigns", auctions_per_setup=auctions_per_setup
+        ):
+            with obs.span("pme.campaign_a1"):
+                a1 = run_campaign_a1(
+                    market, seed=self.seed, auctions_per_setup=auctions_per_setup
+                )
+            with obs.span("pme.campaign_a2"):
+                a2 = run_campaign_a2(
+                    market, seed=self.seed, auctions_per_setup=auctions_per_setup
+                )
         self.state.campaign_a1 = a1
         self.state.campaign_a2 = a2
         return a1, a2
@@ -133,34 +155,46 @@ class PriceModelingEngine:
         cv_folds: int = 10,
         cv_runs: int = 10,
         workers: int | None = 1,
+        **legacy,
     ) -> EncryptedPriceModel:
         """Fit the encrypted-price classifier on campaign ground truth.
 
         ``workers`` parallelises forest training (and the CV refits)
         across a process pool; results are bit-identical to
-        ``workers=1``.
+        ``workers=1``.  Only ``workers=`` is accepted; legacy spellings
+        (``n_jobs``, ...) raise a TypeError naming the replacement.
         """
+        reject_legacy_kwargs("PriceModelingEngine.train_model", legacy)
         campaign = campaign or self.state.campaign_a1
         if campaign is None:
             raise RuntimeError("run the probe campaigns before training")
         names = feature_names or self.state.selected_features or list(PAPER_FEATURE_SET)
         rows = campaign.feature_rows()
         prices = list(campaign.prices())
-        model = EncryptedPriceModel.train(
-            rows,
-            prices,
-            feature_names=[n for n in names if n != "publisher"],
+        with obs.stage(
+            "pme.train_model",
+            rows=len(rows),
             n_classes=n_classes,
-            seed=derive_seed(self.seed, "model"),
-            workers=workers,
-        )
-        self.state.model = model
-        if evaluate:
-            self.state.evaluation = model.cross_validate(
-                rows, prices, n_folds=cv_folds, n_runs=cv_runs,
-                seed=derive_seed(self.seed, "eval"),
+            workers=workers or 0,
+        ):
+            model = EncryptedPriceModel.train(
+                rows,
+                prices,
+                feature_names=[n for n in names if n != "publisher"],
+                n_classes=n_classes,
+                seed=derive_seed(self.seed, "model"),
                 workers=workers,
             )
+            self.state.model = model
+            if evaluate:
+                with obs.span(
+                    "pme.cross_validate", folds=cv_folds, runs=cv_runs
+                ):
+                    self.state.evaluation = model.cross_validate(
+                        rows, prices, n_folds=cv_folds, n_runs=cv_runs,
+                        seed=derive_seed(self.seed, "eval"),
+                        workers=workers,
+                    )
         return model
 
     # -- step 4: time correction & packaging --------------------------------
@@ -173,8 +207,11 @@ class PriceModelingEngine:
         """
         if self.state.campaign_a2 is None:
             raise RuntimeError("run campaign A2 first")
-        a2_prices = self.state.campaign_a2.prices()
-        correction = median_ratio(a2_prices, dataset_mopub_prices)
+        with obs.span(
+            "pme.time_correction", anchor_prices=len(dataset_mopub_prices)
+        ):
+            a2_prices = self.state.campaign_a2.prices()
+            correction = median_ratio(a2_prices, dataset_mopub_prices)
         self.state.time_correction = float(correction)
         return self.state.time_correction
 
@@ -203,26 +240,38 @@ class PriceModelingEngine:
         contributed_prices: list[float],
         n_classes: int = 4,
         workers: int | None = 1,
+        **legacy,
     ) -> EncryptedPriceModel:
         """Fold anonymous client contributions into a fresh model.
 
         Contributions extend (never replace) the latest campaign ground
         truth, so a burst of low-quality contributions cannot erase the
-        calibrated baseline.
+        calibrated baseline.  Only ``workers=`` is accepted; legacy
+        spellings (``n_jobs``, ``retrain_workers``, ...) raise a
+        TypeError naming the replacement.
         """
+        reject_legacy_kwargs(
+            "PriceModelingEngine.retrain_with_contributions", legacy
+        )
         if self.state.campaign_a1 is None:
             raise RuntimeError("no campaign ground truth to extend")
         rows = self.state.campaign_a1.feature_rows() + list(contributed_rows)
         prices = list(self.state.campaign_a1.prices()) + list(contributed_prices)
         names = self.state.selected_features or list(PAPER_FEATURE_SET)
-        model = EncryptedPriceModel.train(
-            rows,
-            prices,
-            feature_names=[n for n in names if n != "publisher"],
-            n_classes=n_classes,
-            seed=derive_seed(self.seed, "retrain"),
-            workers=workers,
-        )
+        with obs.stage(
+            "pme.retrain",
+            contributed=len(contributed_rows),
+            rows=len(rows),
+            workers=workers or 0,
+        ):
+            model = EncryptedPriceModel.train(
+                rows,
+                prices,
+                feature_names=[n for n in names if n != "publisher"],
+                n_classes=n_classes,
+                seed=derive_seed(self.seed, "retrain"),
+                workers=workers,
+            )
         self.state.model = model
         return model
 

@@ -14,6 +14,7 @@ side with no training code.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
 
@@ -101,74 +102,72 @@ class EncryptedPriceModel:
         return cls(feature_names=names, encoder=encoder, binner=binner, forest=forest)
 
     # -- inference ---------------------------------------------------------
+    #
+    # The batch/scalar estimation entry points below are DEPRECATED
+    # delegating shims: :class:`repro.core.estimator.Estimator` is the
+    # one estimation facade (``estimate(rows) -> EstimateResult`` with
+    # prices, classes, probabilities and per-phase spans in one pass).
+    # The shims stay bit-identical to the facade -- a tier-1 test holds
+    # both paths to equality -- but warn so callers migrate.
+
+    def _estimator(self):
+        from repro.core.estimator import Estimator
+
+        return Estimator(self)
 
     def predict_class(self, rows: Sequence[Mapping[str, Hashable]]) -> np.ndarray:
         x = self.encoder.transform(list(rows))
         return self.forest.predict(x)
 
     def predict_proba(self, rows: Sequence[Mapping[str, Hashable]]) -> np.ndarray:
-        """Forest class-probability matrix per feature row (batch)."""
-        x = self.encoder.transform(list(rows))
-        return self.forest.predict_proba(x)
+        """Deprecated: use ``Estimator(model).estimate(rows).proba``."""
+        warnings.warn(
+            "EncryptedPriceModel.predict_proba is deprecated; use "
+            "repro.core.estimator.Estimator(model).estimate(rows).proba",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._estimator().estimate(rows).proba
 
     def estimate(self, rows: Sequence[Mapping[str, Hashable]]) -> np.ndarray:
-        """Estimated CPM per feature row (class -> representative price).
+        """Deprecated: use ``Estimator(model).estimate(rows).prices``.
 
-        This is the batch scoring hot path: rows are encoded once and
-        routed through the forest's flattened member trees in one
-        vectorised pass -- feed the whole of dataset D at once rather
-        than looping ``estimate_one``.
-
-        Estimates are multiplied by ``time_correction`` (1.0 for models
-        trained in-process; the PME's drift coefficient for models
-        loaded from a package).  The element-wise product keeps batch
-        results bit-identical to per-row ``estimate_one`` calls.
+        Kept as a bit-identical shim over the facade; the facade encodes
+        rows once and routes them through the forest's flattened member
+        trees in one vectorised pass, then applies ``time_correction``.
         """
-        return self.binner.estimate(self.predict_class(rows)) * self.time_correction
+        warnings.warn(
+            "EncryptedPriceModel.estimate is deprecated; use "
+            "repro.core.estimator.Estimator(model).estimate(rows).prices",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._estimator().estimate(rows).prices
 
     def estimate_one(self, row: Mapping[str, Hashable]) -> float:
-        return float(self.estimate([row])[0])
+        """Deprecated: use ``Estimator(model).estimate_one(row)``."""
+        warnings.warn(
+            "EncryptedPriceModel.estimate_one is deprecated; use "
+            "repro.core.estimator.Estimator(model).estimate_one(row)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._estimator().estimate_one(row)
 
     def explain_one(self, row: Mapping[str, Hashable]) -> dict:
-        """Explain one estimate for a user-facing "why this price?".
+        """Deprecated: use ``Estimator(model).explain(row)``.
 
-        Returns the predicted class, its representative CPM, the
-        forest's class-probability vector, the top feature importances,
-        and the decision path of the first member tree (feature name,
-        threshold, branch taken) -- enough for YourAdValue to show the
-        user which parts of their context priced the ad.
+        Same payload shape (predicted class, representative CPM, class
+        probabilities, top feature importances, first-tree decision
+        path); the logic now lives on the facade.
         """
-        x = self.encoder.transform([row])
-        probs = self.forest.predict_proba(x)[0]
-        cls = int(np.argmax(probs))
-        path = [
-            {
-                "feature": self.feature_names[feature],
-                "threshold": threshold,
-                "went_left": went_left,
-                "value": row.get(self.feature_names[feature]),
-            }
-            for feature, threshold, went_left in self.forest.trees_[0].decision_path(
-                x[0]
-            )
-        ]
-        importances = self.forest.feature_importances_
-        top = []
-        if importances is not None:
-            order = np.argsort(importances)[::-1][:5]
-            top = [
-                {"feature": self.feature_names[i], "importance": float(importances[i])}
-                for i in order
-            ]
-        return {
-            "predicted_class": cls,
-            "estimated_cpm": float(
-                self.binner.representative(cls) * self.time_correction
-            ),
-            "class_probabilities": [float(p) for p in probs],
-            "top_features": top,
-            "decision_path": path,
-        }
+        warnings.warn(
+            "EncryptedPriceModel.explain_one is deprecated; use "
+            "repro.core.estimator.Estimator(model).explain(row)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._estimator().explain(row)
 
     # -- evaluation --------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.analyzer.blacklist import DomainBlacklist, default_blacklist
 from repro.analyzer.geoip import GeoIpResolver
 from repro.analyzer.interests import PublisherDirectory
 from repro.analyzer.useragent import parse_user_agent
+from repro.core.estimator import Estimator
 from repro.core.price_model import EncryptedPriceModel
 from repro.rtb.nurl import parse_nurl
 from repro.trace.weblog import HttpRequest
@@ -84,6 +85,9 @@ class YourAdValue:
         geoip: GeoIpResolver | None = None,
     ):
         self.model = EncryptedPriceModel.from_package(model_package)
+        #: The estimation facade every encrypted-price estimate routes
+        #: through (the deprecated per-method model entry points warn).
+        self.estimator = Estimator(self.model)
         self.model_version = int(model_package.get("version", 1))
         #: The PME's drift coefficient carried by the package; the model
         #: applies it to every encrypted estimate (ledger entries
@@ -109,7 +113,7 @@ class YourAdValue:
         iab = self.directory.category_of(publisher) if publisher else None
         if parsed.is_encrypted:
             features = self._features(row, parsed, iab)
-            amount = self.model.estimate_one(features)
+            amount = self.estimator.estimate_one(features)
             entry = LedgerEntry(
                 timestamp=row.timestamp,
                 adx=parsed.adx,

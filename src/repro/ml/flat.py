@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.ml.tree import TreeNode
 
 __all__ = ["FlatTree", "flatten_classifier_tree", "flatten_regressor_tree"]
@@ -138,6 +139,11 @@ def _flatten(root: TreeNode, n_outputs: int, leaf_row) -> FlatTree:
         # filled) first; ids are already fixed either way.
         work.append((node.right, right_id))
         work.append((node.left, left_id))
+    # Compile-time bookkeeping (once per tree per fit/deserialise --
+    # never on the per-batch inference path).
+    reg = obs.registry()
+    reg.counter("flat.trees_compiled", "trees compiled to flat arrays").inc()
+    reg.counter("flat.nodes_compiled", "total flat nodes allocated").inc(n_nodes)
     return FlatTree(
         feature=feature, threshold=threshold, left=left, right=right, value=value
     )

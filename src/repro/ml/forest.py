@@ -42,8 +42,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.util.rng import derive_seed
+from repro.util.validation import reject_legacy_kwargs
 
 __all__ = ["RandomForestClassifier", "RandomForestRegressor"]
 
@@ -200,7 +202,9 @@ class RandomForestClassifier:
         oob_score: bool = False,
         seed: int = 0,
         workers: int | None = 1,
+        **legacy,
     ):
+        reject_legacy_kwargs("RandomForestClassifier", legacy)
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         self.n_estimators = int(n_estimators)
@@ -256,26 +260,34 @@ class RandomForestClassifier:
             tree_kwargs=self._tree_kwargs(),
         )
         workers = _resolve_workers(self.workers, self.n_estimators)
-        results = _map_tree_fits(ctx, self.n_estimators, workers)
+        with obs.stage(
+            "forest.fit", trees=self.n_estimators, rows=n, workers=workers
+        ) as st:
+            results = _map_tree_fits(ctx, self.n_estimators, workers)
 
-        # Merge strictly in tree order: float accumulation order is part
-        # of the bit-identical parallel==sequential contract.
-        for tree, oob_rows, oob_probs in results:
-            self.trees_.append(tree)
-            if tree.feature_importances_ is not None:
-                importances += tree.feature_importances_
-            if oob_votes is not None and oob_rows is not None:
-                oob_votes[oob_rows] += self._aligned_probs(tree, oob_probs)
+            # Merge strictly in tree order: float accumulation order is
+            # part of the bit-identical parallel==sequential contract.
+            with obs.span("forest.merge"):
+                for tree, oob_rows, oob_probs in results:
+                    self.trees_.append(tree)
+                    if tree.feature_importances_ is not None:
+                        importances += tree.feature_importances_
+                    if oob_votes is not None and oob_rows is not None:
+                        oob_votes[oob_rows] += self._aligned_probs(tree, oob_probs)
 
-        importances /= self.n_estimators
-        total = importances.sum()
-        self.feature_importances_ = importances / total if total > 0 else importances
+            importances /= self.n_estimators
+            total = importances.sum()
+            self.feature_importances_ = (
+                importances / total if total > 0 else importances
+            )
 
-        if oob_votes is not None:
-            voted = oob_votes.sum(axis=1) > 0
-            if voted.any():
-                oob_pred = np.argmax(oob_votes[voted], axis=1)
-                self.oob_score_ = float(np.mean(oob_pred == y[voted]))
+            if oob_votes is not None:
+                voted = oob_votes.sum(axis=1) > 0
+                if voted.any():
+                    oob_pred = np.argmax(oob_votes[voted], axis=1)
+                    self.oob_score_ = float(np.mean(oob_pred == y[voted]))
+            if self.oob_score_ is not None:
+                st.set(oob_score=self.oob_score_)
         return self
 
     def _check_fitted(self) -> None:
@@ -321,16 +333,19 @@ class RandomForestClassifier:
         if traversal not in _TRAVERSALS:
             raise ValueError(f"unknown traversal {traversal!r}; use {_TRAVERSALS}")
         x = np.atleast_2d(np.asarray(x, dtype=float))
-        total = np.zeros((x.shape[0], self.n_classes_), dtype=float)
-        for tree in self.trees_:
-            if traversal == "flat":
-                probs = tree.predict_proba(x)
-            elif traversal == "nodes":
-                probs = tree._predict_proba_nodes(x)
-            else:
-                probs = tree._predict_proba_per_row(x)
-            total += self._aligned_probs(tree, probs)
-        return total / len(self.trees_)
+        with obs.span(
+            "forest.predict_proba", rows=x.shape[0], traversal=traversal
+        ):
+            total = np.zeros((x.shape[0], self.n_classes_), dtype=float)
+            for tree in self.trees_:
+                if traversal == "flat":
+                    probs = tree.predict_proba(x)
+                elif traversal == "nodes":
+                    probs = tree._predict_proba_nodes(x)
+                else:
+                    probs = tree._predict_proba_per_row(x)
+                total += self._aligned_probs(tree, probs)
+            return total / len(self.trees_)
 
     def predict(self, x: np.ndarray, traversal: str = "flat") -> np.ndarray:
         """Majority (probability-averaged) class per row."""
@@ -363,7 +378,9 @@ class RandomForestRegressor:
         max_features: int | str | None = "sqrt",
         seed: int = 0,
         workers: int | None = 1,
+        **legacy,
     ):
+        reject_legacy_kwargs("RandomForestRegressor", legacy)
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         self.n_estimators = int(n_estimators)

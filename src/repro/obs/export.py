@@ -1,0 +1,135 @@
+"""The JSON sink: persist and render one run's trace + metrics.
+
+CLI entry points (``repro pipeline``, ``repro analyze``) run under a
+trace collector and write the finished dump here; ``repro obs dump``
+reads it back and renders the span tree + metrics table.  Benchmarks
+ingest the same JSON shape (``bench_obs_overhead.py`` writes its record
+next to the other ``BENCH_*.json`` files).
+
+Path resolution: ``REPRO_OBS_PATH`` env var, else
+``.repro_obs/last_run.json`` under the current working directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.trace import Trace, build_tree
+
+__all__ = [
+    "DUMP_KIND",
+    "build_dump",
+    "default_dump_path",
+    "load_dump",
+    "render_dump",
+    "save_dump",
+]
+
+DUMP_KIND = "repro_obs_dump"
+DEFAULT_DUMP_RELPATH = os.path.join(".repro_obs", "last_run.json")
+
+
+def default_dump_path() -> Path:
+    """``$REPRO_OBS_PATH`` or ``./.repro_obs/last_run.json``."""
+    env = os.environ.get("REPRO_OBS_PATH")
+    return Path(env) if env else Path(DEFAULT_DUMP_RELPATH)
+
+
+def build_dump(trace: Trace | None = None,
+               metrics: MetricsRegistry | None = None) -> dict:
+    """The serialisable observability record for one run."""
+    reg = metrics if metrics is not None else registry()
+    payload: dict = {
+        "kind": DUMP_KIND,
+        "version": 1,
+        "written_at": time.time(),
+        "metrics": reg.snapshot(),
+        "trace": None,
+    }
+    if trace is not None:
+        payload["trace"] = {
+            "name": trace.name,
+            "records": trace.to_dicts(),
+            "tree": trace.tree(),
+        }
+    return payload
+
+
+def save_dump(path: str | Path | None = None, *,
+              trace: Trace | None = None,
+              metrics: MetricsRegistry | None = None) -> Path:
+    """Write the dump JSON; creates parent directories. Returns the path."""
+    target = Path(path) if path is not None else default_dump_path()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(build_dump(trace=trace, metrics=metrics), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_dump(path: str | Path | None = None) -> dict:
+    """Read a dump back; raises FileNotFoundError / ValueError clearly."""
+    target = Path(path) if path is not None else default_dump_path()
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("kind") != DUMP_KIND:
+        raise ValueError(f"{target} is not a repro obs dump")
+    return payload
+
+
+# -- rendering ---------------------------------------------------------------
+
+def _render_node(node: dict, depth: int, lines: list[str]) -> None:
+    attrs = {k: v for k, v in node.get("attrs", {}).items()}
+    attr_text = (
+        " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+        if attrs
+        else ""
+    )
+    lines.append(
+        f"{'  ' * depth}{node['name']:<{max(1, 40 - 2 * depth)}} "
+        f"{node.get('duration', 0.0) * 1000:>10.2f} ms{attr_text}"
+    )
+    for child in node.get("children", ()):
+        _render_node(child, depth + 1, lines)
+
+
+def render_dump(payload: dict) -> str:
+    """Human-readable span tree + metrics table for ``repro obs dump``."""
+    lines: list[str] = []
+    trace = payload.get("trace")
+    if trace and trace.get("records"):
+        lines.append(f"trace: {trace.get('name', '<unnamed>')} "
+                     f"({len(trace['records'])} spans)")
+        lines.append("")
+        tree = trace.get("tree") or build_tree(trace["records"])
+        if tree is not None:
+            _render_node(tree, 0, lines)
+    else:
+        lines.append("trace: (none recorded)")
+    metrics = payload.get("metrics") or {}
+    lines.append("")
+    lines.append(f"metrics: {len(metrics)} registered")
+    for name, metric in sorted(metrics.items()):
+        kind = metric.get("type", "?")
+        if kind == "counter":
+            detail = f"total={metric.get('total', 0):g}"
+            series = metric.get("series")
+            if series:
+                detail += " " + json.dumps(series, sort_keys=True)
+        elif kind == "gauge":
+            detail = (
+                f"value={metric['value']:g}" if "value" in metric
+                else json.dumps(metric.get("series", {}), sort_keys=True)
+            )
+        else:
+            detail = (
+                f"count={metric.get('count', 0)} mean={metric.get('mean', 0):.6g} "
+                f"p50={metric.get('p50', 0):.6g} p99={metric.get('p99', 0):.6g}"
+            )
+        lines.append(f"  {name:<44} {kind:<9} {detail}")
+    return "\n".join(lines)

@@ -39,6 +39,7 @@ from typing import Awaitable, Callable
 from repro.core.contributions import ContributionError, ContributionServer
 from repro.core.pme import PriceModelingEngine
 from repro.serve.batching import MicroBatcher
+from repro.util.validation import reject_legacy_kwargs
 from repro.serve.http import (
     MAX_BODY_BYTES,
     MAX_HEADER_BYTES,
@@ -104,9 +105,11 @@ class PmeServer:
         max_batch: int = 32,
         max_delay_ms: float = 2.0,
         retrain_min_new_rows: int = 50,
-        retrain_workers: int | None = 1,
+        workers: int | None = 1,
         max_body_bytes: int = MAX_BODY_BYTES,
+        **legacy,
     ):
+        reject_legacy_kwargs("PmeServer", legacy)
         if package is None:
             if pme is None or pme.state.model is None:
                 raise ValueError(
@@ -118,13 +121,14 @@ class PmeServer:
         self.contributions = contributions or ContributionServer()
         self.metrics = ServeMetrics()
         self.retrain_min_new_rows = int(retrain_min_new_rows)
-        self.retrain_workers = retrain_workers
+        self.workers = workers
         self.max_body_bytes = int(max_body_bytes)
         self._batcher = MicroBatcher(
             self._predict_batch,
             max_batch=max_batch,
             max_delay_ms=max_delay_ms,
             on_batch=self.metrics.on_batch,
+            on_queue_wait=self.metrics.on_queue_wait,
         )
         self._server: asyncio.base_events.Server | None = None
         self._retrain_task: asyncio.Task | None = None
@@ -249,7 +253,8 @@ class PmeServer:
         try:
             return await handler(request)
         except Exception as exc:  # noqa: BLE001 - single request must not kill the loop
-            self.metrics.estimate_errors += request.path == "/estimate"
+            if request.path == "/estimate":
+                self.metrics.on_estimate_error()
             return _Response.error(500, f"{type(exc).__name__}: {exc}")
 
     # -- endpoint handlers ---------------------------------------------------
@@ -273,7 +278,7 @@ class PmeServer:
         time-correction multiply is element-wise).
         """
         snapshot = self.store.current
-        estimates = snapshot.model.estimate(rows)
+        estimates = snapshot.estimator.estimate(rows).prices
         return [(float(v), snapshot.version) for v in estimates]
 
     async def _handle_estimate(self, request: Request) -> _Response:
@@ -307,7 +312,7 @@ class PmeServer:
             if tag.strip()
         ]
         if snapshot.etag in candidates or "*" in candidates:
-            self.metrics.model_not_modified += 1
+            self.metrics.on_model_not_modified()
             return _Response(304, b"", headers)
         return _Response(200, snapshot.body, headers)
 
@@ -372,6 +377,10 @@ class PmeServer:
             "min_new_rows": self.retrain_min_new_rows,
             "rows_at_last_retrain": self._retrained_at_rows,
         }
+        payload["obs"] = {
+            "metrics": self.metrics.obs_snapshot(),
+            "last_estimate_trace": self._batcher.last_trace,
+        }
         return _Response.json(200, payload)
 
     # -- retraining / hot reload --------------------------------------------
@@ -394,7 +403,7 @@ class PmeServer:
             next_version = self.store.current.version + 1
             pme = self.pme
             assert pme is not None
-            workers = self.retrain_workers
+            workers = self.workers
 
             def job():
                 pme.retrain_with_contributions(rows, prices, workers=workers)
@@ -404,7 +413,7 @@ class PmeServer:
                 None, job
             )
             self.store.install(snapshot)
-            self.metrics.retrains += 1
+            self.metrics.on_retrain()
             self._retrained_at_rows = len(rows)
         finally:
             self._retrain_task = None

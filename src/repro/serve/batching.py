@@ -28,19 +28,32 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro import obs
+
 
 @dataclass
 class _Pending:
     row: Any
     future: asyncio.Future
+    enqueued_at: float          # perf_counter at submit time
 
 
 class MicroBatcher:
     """Coalesce awaited ``submit(row)`` calls into batched predictions.
 
     ``predict`` maps a list of rows to a sequence of results (one per
-    row, order-preserving).  ``on_batch(size, seconds)`` is an optional
-    metrics hook invoked after every flush.
+    row, order-preserving).  ``on_batch(size, seconds)`` and
+    ``on_queue_wait(seconds)`` are optional metrics hooks: the former
+    fires once per flush with the batch size and inference time, the
+    latter once per request with its time spent queued.
+
+    Observability: every flush runs under a ``serve.estimate_batch``
+    trace -- per-request ``serve.queue_wait`` events, one
+    ``serve.batch_flush`` span around the predict call (the estimator's
+    ``estimator.encode`` / ``forest.inference`` / ``estimator.
+    time_correction`` spans nest inside, because predict runs inline on
+    the same task).  The finished tree of the most recent flush is kept
+    on :attr:`last_trace` for the ``/metrics`` endpoint.
     """
 
     def __init__(
@@ -51,6 +64,7 @@ class MicroBatcher:
         max_delay_ms: float = 2.0,
         max_queue: int = 10_000,
         on_batch: Callable[[int, float], None] | None = None,
+        on_queue_wait: Callable[[float], None] | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -61,8 +75,11 @@ class MicroBatcher:
         self.max_delay = float(max_delay_ms) / 1000.0
         self._queue: asyncio.Queue[_Pending] = asyncio.Queue(maxsize=max_queue)
         self._on_batch = on_batch
+        self._on_queue_wait = on_queue_wait
         self._task: asyncio.Task | None = None
         self._closed = False
+        #: Nested span tree of the most recent flush (or None).
+        self.last_trace: dict | None = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -93,7 +110,7 @@ class MicroBatcher:
         if self._closed or self._task is None:
             raise RuntimeError("batcher is not running")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put(_Pending(row, future))
+        await self._queue.put(_Pending(row, future, time.perf_counter()))
         return await future
 
     # -- consumer -----------------------------------------------------------
@@ -127,12 +144,26 @@ class MicroBatcher:
         while True:
             batch = await self._collect()
             start = time.perf_counter()
-            try:
-                results = self._predict([p.row for p in batch])
-            except Exception as exc:  # noqa: BLE001 - fan the error out
+            error: Exception | None = None
+            results: Sequence[Any] = ()
+            with obs.start_trace(
+                "serve.estimate_batch", batch_size=len(batch)
+            ) as trace:
+                for pending in batch:
+                    wait = start - pending.enqueued_at
+                    obs.event("serve.queue_wait", duration=wait)
+                    if self._on_queue_wait is not None:
+                        self._on_queue_wait(wait)
+                with obs.span("serve.batch_flush", rows=len(batch)):
+                    try:
+                        results = self._predict([p.row for p in batch])
+                    except Exception as exc:  # noqa: BLE001 - fan the error out
+                        error = exc
+            self.last_trace = trace.tree()
+            if error is not None:
                 for pending in batch:
                     if not pending.future.done():
-                        pending.future.set_exception(exc)
+                        pending.future.set_exception(error)
                 continue
             elapsed = time.perf_counter() - start
             if len(results) != len(batch):

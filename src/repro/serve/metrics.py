@@ -1,101 +1,135 @@
-"""Serving metrics: counters, batch-size histogram, latency percentiles.
+"""Serving metrics, rebuilt on the :mod:`repro.obs` registry.
 
-Everything here is O(1) per observation and bounded-memory, because the
-``/metrics`` endpoint is meant to be polled (and the counters bumped)
-on every single request of a heavy-traffic deployment:
+Everything that used to be bespoke per-server bookkeeping (plain
+``collections.Counter`` dicts, a sorted ring buffer for latency
+percentiles) is now a per-server :class:`repro.obs.metrics.
+MetricsRegistry`:
 
-* request counters are plain dicts keyed by route and status class;
-* the batch-size histogram is a dict ``size -> count`` (sizes are
-  bounded by ``max_batch``, so it cannot grow unbounded);
-* estimate latency keeps a fixed-size ring of the most recent
-  observations and computes p50/p90/p99 over that window on demand --
-  recent-window percentiles are what an operator actually wants from a
-  live server, and the ring bounds both memory and the per-poll sort.
+* request / response / flush counts are labelled :class:`~repro.obs.
+  metrics.Counter` series (``serve.requests{route=/estimate}``), so the
+  counts stay **exact** under concurrency (each series add is lock'd;
+  the 80-way serve test asserts exactness);
+* estimate latency and the micro-batcher's queue-wait / flush split are
+  :class:`~repro.obs.metrics.Histogram`\\ s with fixed log-scale bins --
+  constant memory, bounded-relative-error percentiles, no ring to sort
+  per ``/metrics`` poll.
+
+The public ``snapshot()`` keeps the exact JSON shape the ``/metrics``
+endpoint has always served (tests pin it); the raw registry dump is
+additionally exposed as the endpoint's ``obs`` section, which is the
+same payload shape ``repro obs dump`` renders.
 """
 
 from __future__ import annotations
 
 import time
-from collections import Counter, deque
 
-
-class LatencyWindow:
-    """Fixed-size ring of recent latency samples (seconds)."""
-
-    def __init__(self, size: int = 4096):
-        self._samples: deque[float] = deque(maxlen=size)
-        self.count = 0
-
-    def observe(self, seconds: float) -> None:
-        self._samples.append(float(seconds))
-        self.count += 1
-
-    def percentiles(self, points: tuple[int, ...] = (50, 90, 99)) -> dict[str, float]:
-        if not self._samples:
-            return {f"p{p}": 0.0 for p in points}
-        ordered = sorted(self._samples)
-        out = {}
-        for p in points:
-            # nearest-rank on the recent window
-            rank = min(len(ordered) - 1, max(0, round(p / 100 * len(ordered)) - 1))
-            out[f"p{p}"] = ordered[rank]
-        return out
+from repro.obs.metrics import MetricsRegistry
 
 
 class ServeMetrics:
-    """All counters the serve endpoints expose."""
+    """All counters/histograms the serve endpoints expose.
 
-    def __init__(self, latency_window: int = 4096):
+    Each server owns its own registry (``registry=None`` builds one),
+    so two servers in one process -- the hot-reload tests run several --
+    never mix counts; pass a registry explicitly to aggregate.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
         self.started_at = time.time()
-        self.requests: Counter[str] = Counter()        # route -> hits
-        self.responses: Counter[str] = Counter()       # status class -> hits
-        self.batch_sizes: Counter[int] = Counter()     # batch size -> flushes
-        self.estimate_latency = LatencyWindow(latency_window)
-        self.estimates = 0
-        self.estimate_errors = 0
-        self.retrains = 0
-        self.model_not_modified = 0                    # /model 304s
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._requests = reg.counter(
+            "serve.requests", "requests per route")
+        self._responses = reg.counter(
+            "serve.responses", "responses per status class")
+        self._flushes = reg.counter(
+            "serve.batch.flushes", "micro-batch flushes per batch size")
+        self._estimates = reg.counter(
+            "serve.estimates", "rows estimated")
+        self._estimate_errors = reg.counter(
+            "serve.estimate.errors", "failed /estimate requests")
+        self._retrains = reg.counter(
+            "serve.retrains", "hot-reload retrains completed")
+        self._model_not_modified = reg.counter(
+            "serve.model.not_modified", "/model 304 responses")
+        self._latency = reg.histogram(
+            "serve.estimate.latency_seconds",
+            "end-to-end /estimate latency (submit to result)")
+        self._queue_wait = reg.histogram(
+            "serve.batch.queue_wait_seconds",
+            "per-request wait in the micro-batch queue")
+        self._flush_seconds = reg.histogram(
+            "serve.batch.flush_seconds",
+            "forest-inference time per micro-batch flush")
 
     # -- observation hooks --------------------------------------------------
 
     def on_request(self, route: str) -> None:
-        self.requests[route] += 1
+        self._requests.inc(route=route)
 
     def on_response(self, status: int) -> None:
-        self.responses[f"{status // 100}xx"] += 1
+        self._responses.inc(status=f"{status // 100}xx")
 
     def on_batch(self, size: int, seconds: float) -> None:
-        self.batch_sizes[size] += 1
-        self.estimates += size
+        self._flushes.inc(size=size)
+        self._estimates.inc(size)
+        self._flush_seconds.observe(seconds)
+
+    def on_queue_wait(self, seconds: float) -> None:
+        self._queue_wait.observe(seconds)
 
     def on_estimate_latency(self, seconds: float) -> None:
-        self.estimate_latency.observe(seconds)
+        self._latency.observe(seconds)
+
+    def on_estimate_error(self) -> None:
+        self._estimate_errors.inc()
+
+    def on_retrain(self) -> None:
+        self._retrains.inc()
+
+    def on_model_not_modified(self) -> None:
+        self._model_not_modified.inc()
 
     # -- export -------------------------------------------------------------
 
     def batch_histogram(self) -> dict[str, int]:
-        return {str(size): n for size, n in sorted(self.batch_sizes.items())}
+        """Exact ``{batch size: flush count}``, keys as decimal strings."""
+        sizes = self._flushes.labeled("size")
+        return {
+            size: int(n)
+            for size, n in sorted(sizes.items(), key=lambda kv: int(kv[0]))
+        }
 
     def mean_batch_size(self) -> float:
-        flushes = sum(self.batch_sizes.values())
+        histogram = self.batch_histogram()
+        flushes = sum(histogram.values())
         if not flushes:
             return 0.0
-        return sum(s * n for s, n in self.batch_sizes.items()) / flushes
+        return sum(int(s) * n for s, n in histogram.items()) / flushes
 
     def snapshot(self) -> dict:
         """The ``/metrics`` payload core (app adds model/contrib fields)."""
         return {
             "uptime_seconds": time.time() - self.started_at,
-            "requests": dict(self.requests),
-            "responses": dict(self.responses),
+            "requests": {
+                route: int(n) for route, n in self._requests.labeled("route").items()
+            },
+            "responses": {
+                cls: int(n) for cls, n in self._responses.labeled("status").items()
+            },
             "estimates": {
-                "total": self.estimates,
-                "errors": self.estimate_errors,
+                "total": int(self._estimates.total()),
+                "errors": int(self._estimate_errors.total()),
                 "batch_histogram": self.batch_histogram(),
                 "mean_batch_size": self.mean_batch_size(),
-                "latency_seconds": self.estimate_latency.percentiles(),
-                "latency_samples": self.estimate_latency.count,
+                "latency_seconds": self._latency.percentiles(),
+                "latency_samples": int(self._latency.count),
             },
-            "retrains": self.retrains,
-            "model_not_modified": self.model_not_modified,
+            "retrains": int(self._retrains.total()),
+            "model_not_modified": int(self._model_not_modified.total()),
         }
+
+    def obs_snapshot(self) -> dict:
+        """The raw registry dump (the ``/metrics`` ``obs`` section)."""
+        return self.registry.snapshot()

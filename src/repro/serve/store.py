@@ -26,18 +26,25 @@ import json
 import time
 from dataclasses import dataclass
 
+from repro.core.estimator import Estimator
 from repro.core.price_model import EncryptedPriceModel
 
 
 @dataclass(frozen=True)
 class ModelSnapshot:
-    """One immutable, fully-materialised model version."""
+    """One immutable, fully-materialised model version.
+
+    ``estimator`` is the :class:`repro.core.estimator.Estimator` facade
+    over ``model``, built once per version so the ``/estimate`` hot path
+    never constructs facades per batch.
+    """
 
     package: dict
     body: bytes              # canonical JSON, the exact /model payload
     etag: str                # quoted strong ETag over ``body``
     version: int
     model: EncryptedPriceModel
+    estimator: Estimator
     loaded_at: float         # time.time() at construction
 
     @property
@@ -66,6 +73,7 @@ def build_snapshot(package: dict, version: int | None = None) -> ModelSnapshot:
         etag=etag,
         version=int(package["version"]),
         model=model,
+        estimator=Estimator(model),
         loaded_at=time.time(),
     )
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.estimator import Estimator
 from repro.core.price_model import EncryptedPriceModel
 
 
@@ -18,21 +19,22 @@ def model():
         price *= 1.0 + 0.001 * (i % 7)
         rows.append({"context": context, "slot_size": slot, "noise": i % 5})
         prices.append(price)
-    return EncryptedPriceModel.train(
+    trained = EncryptedPriceModel.train(
         rows, prices, feature_names=["context", "slot_size", "noise"],
         n_estimators=10, max_depth=6, seed=1,
-    ), rows
+    )
+    return Estimator(trained), rows
 
 
 class TestExplanations:
     def test_explanation_matches_estimate(self, model):
         m, rows = model
-        explanation = m.explain_one(rows[0])
+        explanation = m.explain(rows[0])
         assert explanation["estimated_cpm"] == pytest.approx(m.estimate_one(rows[0]))
 
     def test_class_probabilities_sum_to_one(self, model):
         m, rows = model
-        explanation = m.explain_one(rows[1])
+        explanation = m.explain(rows[1])
         assert sum(explanation["class_probabilities"]) == pytest.approx(1.0)
         assert explanation["predicted_class"] == max(
             range(len(explanation["class_probabilities"])),
@@ -41,14 +43,14 @@ class TestExplanations:
 
     def test_decision_path_names_real_features(self, model):
         m, rows = model
-        explanation = m.explain_one(rows[2])
+        explanation = m.explain(rows[2])
         for step in explanation["decision_path"]:
             assert step["feature"] in m.feature_names
             assert isinstance(step["went_left"], bool)
 
     def test_top_features_are_the_informative_ones(self, model):
         m, rows = model
-        explanation = m.explain_one(rows[0])
+        explanation = m.explain(rows[0])
         top_names = [t["feature"] for t in explanation["top_features"][:2]]
         assert set(top_names) <= {"context", "slot_size", "noise"}
         assert "context" in top_names or "slot_size" in top_names
@@ -56,6 +58,6 @@ class TestExplanations:
     def test_path_values_echo_the_row(self, model):
         m, rows = model
         row = rows[3]
-        explanation = m.explain_one(row)
+        explanation = m.explain(row)
         for step in explanation["decision_path"]:
             assert step["value"] == row.get(step["feature"])

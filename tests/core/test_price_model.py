@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.campaigns import run_campaign_a1
+from repro.core.estimator import Estimator
 from repro.core.price_model import EncryptedPriceModel, regression_baseline
 from repro.trace.simulate import build_market, small_config
 from repro.util.rng import RngRegistry
@@ -30,13 +31,13 @@ def model(campaign):
 class TestTraining:
     def test_trains_and_estimates(self, campaign, model):
         rows = campaign.feature_rows()
-        estimates = model.estimate(rows[:50])
+        estimates = Estimator(model).estimate(rows[:50]).prices
         assert estimates.shape == (50,)
         assert (estimates > 0).all()
 
     def test_estimates_are_class_representatives(self, model, campaign):
         rows = campaign.feature_rows()[:100]
-        estimates = model.estimate(rows)
+        estimates = Estimator(model).estimate(rows).prices
         assert set(np.round(estimates, 9)) <= set(
             np.round(model.binner.representatives, 9)
         )
@@ -51,7 +52,7 @@ class TestTraining:
     def test_estimate_correlates_with_truth(self, campaign, model):
         rows = campaign.feature_rows()
         prices = campaign.prices()
-        estimates = model.estimate(rows)
+        estimates = Estimator(model).estimate(rows).prices
         corr = np.corrcoef(np.log(estimates), np.log(prices))[0, 1]
         assert corr > 0.7
 
@@ -74,7 +75,10 @@ class TestPackaging:
         package = model.to_package()
         clone = EncryptedPriceModel.from_package(package)
         rows = campaign.feature_rows()[:100]
-        assert np.allclose(model.estimate(rows), clone.estimate(rows))
+        assert np.allclose(
+            Estimator(model).estimate(rows).prices,
+            Estimator(clone).estimate(rows).prices,
+        )
 
     def test_package_is_json_serialisable(self, model):
         text = json.dumps(model.to_package())
@@ -109,27 +113,32 @@ class TestTimeCorrectionRoundTrip:
         package["time_correction"] = 1.37
         clone = EncryptedPriceModel.from_package(package)
         rows = campaign.feature_rows()[:50]
-        assert np.allclose(clone.estimate(rows), model.estimate(rows) * 1.37)
-        assert clone.estimate_one(rows[0]) == pytest.approx(
-            model.estimate_one(rows[0]) * 1.37
+        assert np.allclose(
+            Estimator(clone).estimate(rows).prices,
+            Estimator(model).estimate(rows).prices * 1.37,
+        )
+        assert Estimator(clone).estimate_one(rows[0]) == pytest.approx(
+            Estimator(model).estimate_one(rows[0]) * 1.37
         )
 
     def test_estimate_one_matches_batch_bitwise(self, campaign, model):
         package = model.to_package()
         package["time_correction"] = 1.37
         clone = EncryptedPriceModel.from_package(package)
+        estimator = Estimator(clone)
         rows = campaign.feature_rows()[:32]
-        batch = clone.estimate(rows)
-        assert [clone.estimate_one(r) for r in rows] == list(batch)
+        batch = estimator.estimate(rows).prices
+        assert [estimator.estimate_one(r) for r in rows] == list(batch)
 
     def test_explain_one_reports_corrected_price(self, campaign, model):
         package = model.to_package()
         package["time_correction"] = 1.37
         clone = EncryptedPriceModel.from_package(package)
+        estimator = Estimator(clone)
         row = campaign.feature_rows()[0]
-        explanation = clone.explain_one(row)
+        explanation = estimator.explain(row)
         assert explanation["estimated_cpm"] == pytest.approx(
-            clone.estimate_one(row)
+            estimator.estimate_one(row)
         )
 
     def test_legacy_package_defaults_to_neutral(self, model):
@@ -157,8 +166,8 @@ class TestTimeCorrectionRoundTrip:
         pme.state.time_correction = 1.19
         loaded = EncryptedPriceModel.from_package(pme.package_model())
         row = campaign.feature_rows()[0]
-        assert loaded.estimate_one(row) == pytest.approx(
-            raw_model.estimate_one(row) * 1.19
+        assert Estimator(loaded).estimate_one(row) == pytest.approx(
+            Estimator(raw_model).estimate_one(row) * 1.19
         )
 
 

@@ -62,7 +62,9 @@ class TestClientMetadataResilience:
             rows, prices, feature_names=["context", "city", "slot_size"],
             n_estimators=5, max_depth=4, seed=0,
         )
-        estimate = model.estimate_one(
+        from repro.core.estimator import Estimator
+
+        estimate = Estimator(model).estimate_one(
             {"context": "hologram", "city": "Atlantis", "slot_size": "999x1"}
         )
         assert np.isfinite(estimate)

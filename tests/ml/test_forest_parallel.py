@@ -101,7 +101,12 @@ class TestParallelTrainingIdentity:
         two = EncryptedPriceModel.train(rows, prices, n_estimators=8, seed=5,
                                         workers=2)
         assert one.to_package() == two.to_package()
-        assert np.array_equal(one.estimate(rows), two.estimate(rows))
+        from repro.core.estimator import Estimator
+
+        assert np.array_equal(
+            Estimator(one).estimate(rows).prices,
+            Estimator(two).estimate(rows).prices,
+        )
 
 
 class TestTraversalEquivalence:

@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.campaigns import run_campaign_a1
 from repro.core.contributions import ContributionServer
+from repro.core.estimator import Estimator
 from repro.core.pme import PriceModelingEngine
 from repro.core.price_model import EncryptedPriceModel
 from repro.serve import PmeServer
@@ -159,7 +160,7 @@ class TestEstimation:
         trip (time correction included), micro-batched vectorised
         scoring, JSON float round trip.
         """
-        reference = EncryptedPriceModel.from_package(package)
+        reference = Estimator.from_package(package)
         expected = [reference.estimate_one(row) for row in feature_rows[:80]]
         assert any(e != pytest.approx(1.0) for e in expected)
 
@@ -197,7 +198,7 @@ class TestEstimation:
         """The served estimate is the raw class price x the coefficient."""
         raw = dict(package)
         raw["time_correction"] = 1.0
-        uncorrected = EncryptedPriceModel.from_package(raw)
+        uncorrected = Estimator.from_package(raw)
 
         async def scenario(server):
             row = feature_rows[0]
@@ -214,7 +215,7 @@ class TestEstimation:
         assert serve(scenario, package=package)
 
     def test_batching_off_still_correct(self, package, feature_rows):
-        reference = EncryptedPriceModel.from_package(package)
+        reference = Estimator.from_package(package)
 
         async def scenario(server):
             responses = await asyncio.gather(
@@ -354,6 +355,95 @@ class TestObservability:
             assert metrics["model"]["age_seconds"] >= 0
             assert metrics["contributions"]["accepted"] == 0
             assert metrics["retrain"]["enabled"] is False
+            return True
+
+        assert serve(scenario, package=package)
+
+    def test_metrics_obs_section_carries_registry_and_trace(
+        self, package, feature_rows
+    ):
+        """The /metrics ``obs`` section exposes the registry snapshot
+        and the last micro-batch flush trace end to end: queue-wait,
+        batch-flush, and the estimator's internal phase spans."""
+
+        async def scenario(server):
+            await asyncio.gather(
+                *(
+                    request_once(
+                        "127.0.0.1", server.port, "POST", "/estimate",
+                        body=estimate_body(row),
+                    )
+                    for row in feature_rows[:8]
+                )
+            )
+            metrics = (
+                await request_once("127.0.0.1", server.port, "GET", "/metrics")
+            ).json()
+            section = metrics["obs"]
+            reg = section["metrics"]
+            # the in-flight GET /metrics already counted itself
+            assert reg["serve.requests"]["series"]["route=/estimate"] == 8
+            assert reg["serve.estimates"]["total"] == 8
+            assert reg["serve.estimate.latency_seconds"]["count"] == 8
+            assert reg["serve.batch.queue_wait_seconds"]["count"] == 8
+            assert reg["serve.batch.flush_seconds"]["count"] >= 1
+
+            trace = section["last_estimate_trace"]
+            assert trace["name"] == "serve.estimate_batch"
+            names = []
+
+            def walk(node):
+                names.append(node["name"])
+                for child in node["children"]:
+                    walk(child)
+
+            walk(trace)
+            assert "serve.queue_wait" in names
+            assert "serve.batch_flush" in names
+            # The estimator facade's phase split shows inside the flush.
+            assert "estimator.estimate" in names
+            assert "forest.inference" in names
+            assert "estimator.time_correction" in names
+            return True
+
+        assert serve(scenario, package=package)
+
+    def test_counter_exactness_under_80_way_concurrency(
+        self, package, feature_rows
+    ):
+        """Registry counters must be exact when 80 concurrent requests
+        race the event loop (the serve-level twin of the threaded
+        registry test)."""
+
+        async def scenario(server):
+            rows = [feature_rows[i % len(feature_rows)] for i in range(80)]
+            responses = await asyncio.gather(
+                *(
+                    request_once(
+                        "127.0.0.1", server.port, "POST", "/estimate",
+                        body=estimate_body(row),
+                    )
+                    for row in rows
+                )
+            )
+            assert all(r.status == 200 for r in responses)
+            metrics = (
+                await request_once("127.0.0.1", server.port, "GET", "/metrics")
+            ).json()
+            reg = metrics["obs"]["metrics"]
+            assert reg["serve.requests"]["series"]["route=/estimate"] == 80
+            assert reg["serve.estimates"]["total"] == 80
+            assert reg["serve.estimate.latency_seconds"]["count"] == 80
+            assert metrics["estimates"]["total"] == 80
+            assert (
+                sum(
+                    int(size) * int(n)
+                    for size, n in metrics["estimates"][
+                        "batch_histogram"
+                    ].items()
+                )
+                == 80
+            )
             return True
 
         assert serve(scenario, package=package)
@@ -502,7 +592,7 @@ class TestHotReload:
 
             # The swapped-in model estimates with the retrained forest
             # and still applies the time correction.
-            client_model = EncryptedPriceModel.from_package(
+            client_model = Estimator.from_package(
                 json.loads(new.body.decode())
             )
             assert client_model.time_correction == TIME_CORRECTION
