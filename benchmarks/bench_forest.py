@@ -1,8 +1,23 @@
-"""Forest throughput benchmark: parallel training + flattened inference.
+"""Forest throughput benchmark: training engines + flattened inference.
 
-Tracks the ML half of the pipeline's hot path (ISSUE 2): training the
+Tracks the ML half of the pipeline's hot path: training the
 section-5.4 price forest and scoring every encrypted impression in
-dataset D.  Reports, as one JSON record (``BENCH_forest.json``):
+dataset D.
+
+Two records:
+
+* ``BENCH_forest_train.json`` (``train_matrix``) -- the **training
+  engine matrix** over a feature-set-S-shaped matrix (the paper's
+  section-5.1 cardinalities): the legacy one-hot exact splitter (the
+  seed implementation, kept as ``best_classification_split_onehot``),
+  the allocation-free exact splitter, and the pre-binned ``hist``
+  engine, each at workers 1/N.  Asserted along the way: exact is
+  bit-identical to legacy, hist is bit-identical across worker counts,
+  and hist's holdout accuracy stays within a point of exact's.
+* ``BENCH_forest.json`` (``run_matrix``) -- the original workers sweep
+  + inference traversal sweep below.
+
+Reports, as one JSON record (``BENCH_forest.json``):
 
 * ``train_rows_per_sec`` per worker count (1/2/4 by default), with the
   bit-identical-to-sequential guarantee asserted along the way;
@@ -40,12 +55,14 @@ import argparse
 import json
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
 
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.serialize import dumps, forest_to_dict
+from repro.ml.tree import _SplitSearch
 
 try:  # package import under pytest, sibling import as a script
     from ._record import provenance
@@ -83,6 +100,201 @@ def _time(fn, repeats: int = 1) -> tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+# -- training engine matrix ---------------------------------------------------
+
+#: Paper section 5.1's selected feature set S with realistic
+#: cardinalities: context, device_type, city, time_of_day, day_of_week,
+#: slot_size, publisher_iab, adx.
+S_CARDINALITIES = (2, 4, 50, 4, 7, 10, 25, 6)
+
+
+def _feature_set_s(n_rows: int, seed: int = 20151231) -> tuple[np.ndarray, np.ndarray]:
+    """Feature-set-S-shaped ordinal matrix with 4 learnable price classes.
+
+    Price drivers mirror the paper's findings: city (fig 5), time of
+    day (fig 6), IAB category (fig 11) and the ADX mix dominate.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.column_stack(
+        [rng.integers(0, c, size=n_rows).astype(float) for c in S_CARDINALITIES]
+    )
+    score = (
+        0.9 * (x[:, 2] / 49.0)
+        + 0.5 * (x[:, 3] / 3.0)
+        + 0.4 * (x[:, 6] / 24.0)
+        + 0.3 * (x[:, 7] / 5.0)
+        + 0.25 * rng.normal(size=n_rows)
+    )
+    y = np.digitize(score, np.quantile(score, [0.25, 0.5, 0.75]))
+    return x, y.astype(int)
+
+
+@contextmanager
+def _legacy_onehot_splitter():
+    """Swap the seed one-hot exact splitter back in (timing baseline).
+
+    The seed engine called the one-hot splitter once per (node,
+    candidate feature); the growth loop now routes through the batched
+    ``best_classification_split_multi``, so the legacy baseline is
+    restored by patching that entry with a per-column one-hot loop --
+    reproducing the seed's per-call overhead profile as well as its
+    arithmetic.  The pool workers see the patch too: fork happens at
+    pool creation, after the class attribute is swapped.
+    """
+
+    def _onehot_multi(cols, y, n_classes, criterion, nan_free=False):
+        return [
+            _SplitSearch.best_classification_split_onehot(
+                cols[:, j], y, n_classes, criterion
+            )
+            for j in range(cols.shape[1])
+        ]
+
+    original = _SplitSearch.__dict__["best_classification_split_multi"]
+    _SplitSearch.best_classification_split_multi = staticmethod(  # type: ignore[method-assign]
+        _onehot_multi
+    )
+    try:
+        yield
+    finally:
+        _SplitSearch.best_classification_split_multi = original  # type: ignore[method-assign]
+
+
+def train_matrix(
+    train_rows: int = 50_000,
+    eval_rows: int = 10_000,
+    workers_list=(1, 4),
+    n_estimators: int = N_ESTIMATORS,
+    max_depth: int = MAX_DEPTH,
+    repeats: int = 1,
+) -> dict:
+    """Time the three training engines over feature set S.
+
+    Engines: ``exact-onehot-legacy`` (the seed splitter, patched back
+    in), ``exact`` (allocation-free integer-count rewrite) and ``hist``
+    (pre-binned histogram engine), the latter two across
+    ``workers_list``.  Contracts asserted, not just reported:
+
+    * exact == legacy bit for bit (same trees, same payload);
+    * exact and hist are each bit-identical across worker counts;
+    * hist holdout accuracy within one point of exact's (all S
+      cardinalities are < 256, so hist scans the same candidate
+      thresholds the exact engine does).
+    """
+    workers_list = tuple(sorted({1, *workers_list}))
+    x_all, y_all = _feature_set_s(train_rows + eval_rows)
+    x, y = x_all[:train_rows], y_all[:train_rows]
+    x_eval, y_eval = x_all[train_rows:], y_all[train_rows:]
+
+    def fit(splitter: str, workers: int) -> RandomForestClassifier:
+        return RandomForestClassifier(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            min_samples_leaf=2,
+            seed=20151231,
+            workers=workers,
+            splitter=splitter,
+        ).fit(x, y)
+
+    records: list[dict] = []
+
+    with _legacy_onehot_splitter():
+        legacy_s, legacy = _time(lambda: fit("exact", 1), repeats)
+    legacy_payload = dumps(forest_to_dict(legacy))
+    records.append(
+        {
+            "engine": "exact-onehot-legacy",
+            "workers": 1,
+            "seconds": round(legacy_s, 4),
+            "train_rows_per_sec": round(train_rows / legacy_s, 1),
+            "holdout_accuracy": round(
+                float(np.mean(legacy.predict(x_eval) == y_eval)), 4
+            ),
+        }
+    )
+
+    timings: dict[tuple[str, int], float] = {}
+    payloads: dict[tuple[str, int], str] = {}
+    accuracy: dict[str, float] = {}
+    for splitter in ("exact", "hist"):
+        for workers in workers_list:
+            t_s, forest = _time(lambda: fit(splitter, workers), repeats)
+            timings[(splitter, workers)] = t_s
+            payloads[(splitter, workers)] = dumps(forest_to_dict(forest))
+            acc = float(np.mean(forest.predict(x_eval) == y_eval))
+            accuracy[splitter] = acc
+            records.append(
+                {
+                    "engine": splitter,
+                    "workers": workers,
+                    "seconds": round(t_s, 4),
+                    "train_rows_per_sec": round(train_rows / t_s, 1),
+                    "holdout_accuracy": round(acc, 4),
+                    "speedup_vs_legacy": round(legacy_s / t_s, 2),
+                }
+            )
+
+    # -- contracts ----------------------------------------------------------
+    for workers in workers_list:
+        assert payloads[("exact", workers)] == legacy_payload, (
+            f"exact (workers={workers}) diverged from the legacy one-hot engine"
+        )
+    hist_reference = payloads[("hist", 1)]
+    for workers in workers_list:
+        assert payloads[("hist", workers)] == hist_reference, (
+            f"hist workers={workers} diverged from sequential"
+        )
+    assert accuracy["hist"] >= accuracy["exact"] - 0.01, (
+        f"hist accuracy {accuracy['hist']:.4f} fell more than a point below "
+        f"exact {accuracy['exact']:.4f}"
+    )
+
+    return {
+        "benchmark": "forest_train",
+        "n_estimators": n_estimators,
+        "max_depth": max_depth,
+        "train_rows": train_rows,
+        "eval_rows": eval_rows,
+        "feature_cardinalities": list(S_CARDINALITIES),
+        **provenance(),
+        "speedups": {
+            "exact_vs_legacy": round(legacy_s / timings[("exact", 1)], 2),
+            "hist_vs_legacy": round(legacy_s / timings[("hist", 1)], 2),
+            "hist_vs_exact": round(
+                timings[("exact", 1)] / timings[("hist", 1)], 2
+            ),
+        },
+        "runs": records,
+    }
+
+
+def _render_train(record: dict) -> list[str]:
+    lines = [
+        f"Price-forest training engines ({record['n_estimators']} trees, "
+        f"max depth {record['max_depth']}, {record['train_rows']:,} rows, "
+        f"feature set S, {record['cpu_count']} CPUs, git {record['git_sha']}):",
+        "",
+        f"{'engine':<22} {'workers':>7} {'seconds':>9} {'rows/sec':>12} "
+        f"{'acc':>7} {'vs legacy':>9}",
+    ]
+    for run in record["runs"]:
+        lines.append(
+            f"{run['engine']:<22} {run['workers']:>7} {run['seconds']:>9.3f} "
+            f"{run['train_rows_per_sec']:>12,.1f} "
+            f"{run['holdout_accuracy']:>7.4f} "
+            f"{str(run.get('speedup_vs_legacy', '')):>9}"
+        )
+    s = record["speedups"]
+    lines += [
+        "",
+        f"exact vs legacy one-hot: {s['exact_vs_legacy']}x (bit-identical); "
+        f"hist vs legacy: {s['hist_vs_legacy']}x; "
+        f"hist vs exact: {s['hist_vs_exact']}x "
+        "(hist bit-identical across workers; accuracy within a point).",
+    ]
+    return lines
 
 
 def run_matrix(
@@ -229,7 +441,42 @@ def _render(record: dict) -> list[str]:
     return lines
 
 
-# -- pytest entry point ------------------------------------------------------
+# -- pytest entry points -----------------------------------------------------
+
+def test_forest_training_engines():
+    """CI smoke of the training-engine matrix (scaled by
+    ``REPRO_BENCH_SCALE``); writes ``BENCH_forest_train.json``."""
+    from .conftest import OUTPUT_DIR, bench_scale, emit
+
+    scale = bench_scale()
+    record = train_matrix(
+        train_rows=max(2_000, int(50_000 * scale)),
+        # Holdout stays full-size at every scale: scoring is cheap and
+        # the accuracy-parity contract needs the binomial noise floor
+        # well under the one-point tolerance.
+        eval_rows=10_000,
+        workers_list=(1, 4),
+        n_estimators=max(12, int(N_ESTIMATORS * scale)),
+        # Best-of-2 at full scale: single-CPU wall times swing by
+        # ~+-20% run to run, and the acceptance bars compare ratios of
+        # single measurements.  Minimum-of-N is the standard antidote.
+        repeats=2 if scale >= 0.999 else 1,
+    )
+    emit("BENCH_forest_train", _render_train(record) + ["", json.dumps(record)])
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_forest_train.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    speedups = record["speedups"]
+    # The acceptance bars, relaxed at smoke scales (fewer rows per node
+    # means less sorting for the exact engines to lose).
+    if scale >= 0.999:
+        assert speedups["hist_vs_legacy"] >= 5.0
+        assert speedups["exact_vs_legacy"] >= 1.5
+    else:
+        assert speedups["hist_vs_legacy"] >= 2.0
+        assert speedups["exact_vs_legacy"] >= 1.1
+
 
 def test_forest_throughput(benchmark):
     from .conftest import bench_scale, emit
@@ -261,9 +508,20 @@ def test_forest_throughput(benchmark):
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--train-rows", type=int, default=4_000)
+    parser.add_argument("--train-bench", action="store_true",
+                        help="run the training-engine matrix (legacy "
+                             "one-hot vs exact vs hist over feature set "
+                             "S) instead of the throughput matrix")
+    parser.add_argument("--train-rows", type=int, default=None,
+                        help="default 4000 (throughput) / 50000 (train "
+                             "bench)")
+    parser.add_argument("--eval-rows", type=int, default=10_000,
+                        help="holdout rows for the train bench's "
+                             "accuracy parity check")
     parser.add_argument("--predict-rows", type=int, default=50_000)
-    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--workers", type=int, nargs="+", default=None,
+                        help="default 1 2 4 (throughput) / 1 4 (train "
+                             "bench)")
     parser.add_argument("--trees", type=int, default=N_ESTIMATORS)
     parser.add_argument("--max-depth", type=int, default=MAX_DEPTH)
     parser.add_argument("--repeats", type=int, default=1,
@@ -274,16 +532,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the JSON record to this path")
     args = parser.parse_args(argv)
 
-    record = run_matrix(
-        train_rows=args.train_rows,
-        predict_rows=args.predict_rows,
-        workers_list=tuple(args.workers),
-        n_estimators=args.trees,
-        max_depth=args.max_depth,
-        repeats=args.repeats,
-        per_row_cap=args.per_row_cap,
-    )
-    print("\n".join(_render(record)), file=sys.stderr)
+    if args.train_bench:
+        record = train_matrix(
+            train_rows=args.train_rows or 50_000,
+            eval_rows=args.eval_rows,
+            workers_list=tuple(args.workers or (1, 4)),
+            n_estimators=args.trees,
+            max_depth=args.max_depth,
+            repeats=args.repeats,
+        )
+        print("\n".join(_render_train(record)), file=sys.stderr)
+    else:
+        record = run_matrix(
+            train_rows=args.train_rows or 4_000,
+            predict_rows=args.predict_rows,
+            workers_list=tuple(args.workers or (1, 2, 4)),
+            n_estimators=args.trees,
+            max_depth=args.max_depth,
+            repeats=args.repeats,
+            per_row_cap=args.per_row_cap,
+        )
+        print("\n".join(_render(record)), file=sys.stderr)
     print(json.dumps(record, indent=2))
     if args.json:
         args.json.parent.mkdir(parents=True, exist_ok=True)

@@ -38,8 +38,6 @@ Design notes
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
@@ -59,6 +57,7 @@ from repro.analyzer.pipeline import (
     scan_rows_single_pass,
 )
 from repro.trace.weblog import HttpRequest
+from repro.util.parallel import pool_context, resolve_workers
 from repro.util.validation import reject_legacy_kwargs
 
 __all__ = [
@@ -238,12 +237,6 @@ def merge_partials(
     )
 
 
-def _pool_context() -> mp.context.BaseContext:
-    """Prefer fork (cheap, shares the loaded tables); fall back to spawn."""
-    methods = mp.get_all_start_methods()
-    return mp.get_context("fork" if "fork" in methods else "spawn")
-
-
 def analyze_parallel(
     rows: Iterable[HttpRequest],
     directory: PublisherDirectory,
@@ -258,7 +251,8 @@ def analyze_parallel(
 
     ``rows`` may be any iterable (a list, or a streaming
     :func:`repro.io.iter_weblog_csv` generator); it is consumed once.
-    ``workers=None`` uses the machine's CPU count; ``workers<=1`` runs
+    ``workers=None`` uses the machine's CPU count
+    (:func:`repro.util.parallel.resolve_workers`); ``workers=1`` runs
     the single-pass sequential path in-process (no pool overhead).
     The returned result is identical to the sequential analyzer's:
     same observation order, traffic counts, and per-user aggregates.
@@ -270,8 +264,7 @@ def analyze_parallel(
     reject_legacy_kwargs("analyze_parallel", legacy)
     blacklist = blacklist or default_blacklist()
     geoip = geoip or GeoIpResolver()
-    if workers is None:
-        workers = os.cpu_count() or 1
+    workers = resolve_workers(workers)
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     if workers <= 1:
@@ -281,7 +274,7 @@ def analyze_parallel(
         "analyzer.analyze", workers=workers, chunk_size=chunk_size
     ) as st:
         tracing = obs.active_trace() is not None
-        ctx = _pool_context()
+        ctx = pool_context()
         partials: list[ShardPartial] = []
         max_inflight = 2 * workers
         with obs.span("analyzer.dispatch"):

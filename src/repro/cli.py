@@ -138,11 +138,13 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         print("error: --chunk-size must be >= 1", file=sys.stderr)
         return 2
     with obs.start_trace(
-        "pipeline", scale=args.scale, workers=args.workers
+        "pipeline", scale=args.scale, workers=args.workers,
+        splitter=args.splitter,
     ) as trace:
         result = quickstart_pipeline(
             seed=args.seed or DEFAULT_SEED, scale=args.scale,
             workers=args.workers, chunk_size=args.chunk_size,
+            splitter=args.splitter,
         )
     dump_path = obs.save_dump(args.obs_out, trace=trace)
     print(f"observability dump written to {dump_path}", file=sys.stderr)
@@ -247,7 +249,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         result = quickstart_pipeline(
             seed=args.seed or DEFAULT_SEED, scale=args.bootstrap,
-            workers=args.workers,
+            workers=args.workers, splitter=args.splitter,
         )
         pme = result["pme"]
         package = pme.package_model()
@@ -261,6 +263,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_delay_ms=args.max_delay_ms,
         retrain_min_new_rows=args.retrain_min_new_rows,
         workers=args.workers,
+        splitter=args.splitter,
     )
     retrain = "enabled" if server.retrain_enabled else "disabled"
     print(
@@ -345,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("--chunk-size", type=int, default=None,
                         help="rows dispatched per analyzer task when "
                              "--workers > 1 (default 50000)")
+    p_pipe.add_argument("--splitter", choices=("exact", "hist"),
+                        default="exact",
+                        help="forest split-search engine: 'exact' scans "
+                             "every threshold; 'hist' pre-bins features "
+                             "into <=256 bins (faster at scale, "
+                             "statistically equivalent quality)")
     p_pipe.add_argument("--obs-out", default=None,
                         help="observability dump path (default "
                              "$REPRO_OBS_PATH or .repro_obs/last_run.json)")
@@ -410,6 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--workers", type=int, default=1,
                        help="forest-training processes during bootstrap "
                             "and retrain (default 1)")
+    p_srv.add_argument("--splitter", choices=("exact", "hist"),
+                       default="exact",
+                       help="forest split-search engine for bootstrap "
+                            "training and contribution retrains "
+                            "(default exact)")
     p_srv.set_defaults(func=_cmd_serve)
     return parser
 

@@ -155,14 +155,18 @@ class PriceModelingEngine:
         cv_folds: int = 10,
         cv_runs: int = 10,
         workers: int | None = 1,
+        splitter: str = "exact",
         **legacy,
     ) -> EncryptedPriceModel:
         """Fit the encrypted-price classifier on campaign ground truth.
 
         ``workers`` parallelises forest training (and the CV refits)
         across a process pool; results are bit-identical to
-        ``workers=1``.  Only ``workers=`` is accepted; legacy spellings
-        (``n_jobs``, ...) raise a TypeError naming the replacement.
+        ``workers=1``.  ``splitter`` picks the split-search engine
+        (``"exact"`` or the pre-binned ``"hist"`` -- see DESIGN.md §8);
+        CV inherits the same engine.  Only ``workers=`` is accepted;
+        legacy spellings (``n_jobs``, ...) raise a TypeError naming the
+        replacement.
         """
         reject_legacy_kwargs("PriceModelingEngine.train_model", legacy)
         campaign = campaign or self.state.campaign_a1
@@ -176,6 +180,7 @@ class PriceModelingEngine:
             rows=len(rows),
             n_classes=n_classes,
             workers=workers or 0,
+            splitter=splitter,
         ):
             model = EncryptedPriceModel.train(
                 rows,
@@ -184,6 +189,7 @@ class PriceModelingEngine:
                 n_classes=n_classes,
                 seed=derive_seed(self.seed, "model"),
                 workers=workers,
+                splitter=splitter,
             )
             self.state.model = model
             if evaluate:
@@ -240,6 +246,7 @@ class PriceModelingEngine:
         contributed_prices: list[float],
         n_classes: int = 4,
         workers: int | None = 1,
+        splitter: str = "exact",
         **legacy,
     ) -> EncryptedPriceModel:
         """Fold anonymous client contributions into a fresh model.
@@ -263,6 +270,7 @@ class PriceModelingEngine:
             contributed=len(contributed_rows),
             rows=len(rows),
             workers=workers or 0,
+            splitter=splitter,
         ):
             model = EncryptedPriceModel.train(
                 rows,
@@ -271,6 +279,7 @@ class PriceModelingEngine:
                 n_classes=n_classes,
                 seed=derive_seed(self.seed, "retrain"),
                 workers=workers,
+                splitter=splitter,
             )
         self.state.model = model
         return model

@@ -36,14 +36,14 @@ Scale design notes
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
 from typing import Sequence
 
 import numpy as np
 
 from repro import obs
-from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.histsplit import BinnedDataset
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, _check_splitter
+from repro.util.parallel import pool_context, resolve_workers
 from repro.util.rng import derive_seed
 from repro.util.validation import reject_legacy_kwargs
 
@@ -51,19 +51,6 @@ __all__ = ["RandomForestClassifier", "RandomForestRegressor"]
 
 #: Traversal modes accepted by ``predict_proba``/``predict``.
 _TRAVERSALS = ("flat", "nodes", "per-row")
-
-
-def _resolve_workers(workers: int | None, n_tasks: int) -> int:
-    """Effective worker count: ``None`` = all cores, capped by tasks."""
-    if workers is None:
-        workers = os.cpu_count() or 1
-    return max(1, min(int(workers), n_tasks))
-
-
-def _pool_context() -> mp.context.BaseContext:
-    """Prefer fork (cheap, shares the training matrix); else spawn."""
-    methods = mp.get_all_start_methods()
-    return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
 # -- per-tree fit routines ---------------------------------------------------
@@ -81,13 +68,20 @@ def _fit_classifier_tree(
     bootstrap: bool,
     want_oob: bool,
     tree_kwargs: dict,
+    binned: BinnedDataset | None = None,
 ) -> tuple[DecisionTreeClassifier, np.ndarray | None, np.ndarray | None]:
     """Fit member tree ``t``; returns (tree, oob_rows, oob_probs)."""
     n = x.shape[0]
     rng = np.random.default_rng(derive_seed(seed, f"tree-{t}"))
     indices = rng.integers(0, n, size=n) if bootstrap else np.arange(n)
     tree = DecisionTreeClassifier(rng=rng, **tree_kwargs)
-    tree.fit(x[indices], y[indices], n_classes=n_classes)
+    if binned is not None:
+        # Hist engine: the forest binned ``x`` once; trees grow over
+        # bootstrap *index subsets* of the shared codes matrix instead
+        # of materialising ``x[indices]`` copies per tree.
+        tree.fit(x, y, sample_indices=indices, n_classes=n_classes, binned=binned)
+    else:
+        tree.fit(x[indices], y[indices], n_classes=n_classes)
     oob_rows: np.ndarray | None = None
     oob_probs: np.ndarray | None = None
     if want_oob and bootstrap:
@@ -105,13 +99,17 @@ def _fit_regressor_tree(
     y: np.ndarray,
     seed: int,
     tree_kwargs: dict,
+    binned: BinnedDataset | None = None,
 ) -> DecisionTreeRegressor:
     """Fit regressor member tree ``t``."""
     n = x.shape[0]
     rng = np.random.default_rng(derive_seed(seed, f"rtree-{t}"))
     indices = rng.integers(0, n, size=n)
     tree = DecisionTreeRegressor(rng=rng, **tree_kwargs)
-    tree.fit(x[indices], y[indices])
+    if binned is not None:
+        tree.fit(x, y, sample_indices=indices, binned=binned)
+    else:
+        tree.fit(x[indices], y[indices])
     return tree
 
 
@@ -135,8 +133,12 @@ def _fit_tree_task(t: int):
         return _fit_classifier_tree(
             t, ctx["x"], ctx["y"], ctx["n_classes"], ctx["seed"],
             ctx["bootstrap"], ctx["want_oob"], ctx["tree_kwargs"],
+            binned=ctx.get("binned"),
         )
-    return _fit_regressor_tree(t, ctx["x"], ctx["y"], ctx["seed"], ctx["tree_kwargs"])
+    return _fit_regressor_tree(
+        t, ctx["x"], ctx["y"], ctx["seed"], ctx["tree_kwargs"],
+        binned=ctx.get("binned"),
+    )
 
 
 def _map_tree_fits(ctx: dict, n_estimators: int, workers: int) -> list:
@@ -152,7 +154,7 @@ def _map_tree_fits(ctx: dict, n_estimators: int, workers: int) -> list:
             return [_fit_tree_task(t) for t in range(n_estimators)]
         finally:
             globals()["_FIT_CTX"] = None
-    pool_ctx = _pool_context()
+    pool_ctx = pool_context()
     chunksize = max(1, n_estimators // (workers * 4))
     with pool_ctx.Pool(
         processes=workers, initializer=_init_fit_worker, initargs=(ctx,)
@@ -202,6 +204,7 @@ class RandomForestClassifier:
         oob_score: bool = False,
         seed: int = 0,
         workers: int | None = 1,
+        splitter: str = "exact",
         **legacy,
     ):
         reject_legacy_kwargs("RandomForestClassifier", legacy)
@@ -217,6 +220,7 @@ class RandomForestClassifier:
         self.oob_score = oob_score
         self.seed = int(seed)
         self.workers = workers
+        self.splitter = _check_splitter(splitter)
         self.trees_: list[DecisionTreeClassifier] = []
         self.n_classes_: int = 0
         self.n_features_: int = 0
@@ -230,6 +234,7 @@ class RandomForestClassifier:
             min_samples_split=self.min_samples_split,
             max_features=self.max_features,
             criterion=self.criterion,
+            splitter=self.splitter,
         )
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
@@ -249,6 +254,14 @@ class RandomForestClassifier:
         )
         importances = np.zeros(self.n_features_)
 
+        binned: BinnedDataset | None = None
+        if self.splitter == "hist":
+            # Quantise once per forest; the codes matrix is shared
+            # read-only with fork-pool workers (copy-on-write pages).
+            with obs.stage("forest.bin", rows=n, features=self.n_features_) as st:
+                binned = BinnedDataset.from_matrix(x)
+                st.set(total_bins=binned.total_bins)
+
         ctx = dict(
             kind="classifier",
             x=x,
@@ -258,8 +271,9 @@ class RandomForestClassifier:
             bootstrap=self.bootstrap,
             want_oob=self.oob_score,
             tree_kwargs=self._tree_kwargs(),
+            binned=binned,
         )
-        workers = _resolve_workers(self.workers, self.n_estimators)
+        workers = resolve_workers(self.workers, self.n_estimators)
         with obs.stage(
             "forest.fit", trees=self.n_estimators, rows=n, workers=workers
         ) as st:
@@ -378,6 +392,7 @@ class RandomForestRegressor:
         max_features: int | str | None = "sqrt",
         seed: int = 0,
         workers: int | None = 1,
+        splitter: str = "exact",
         **legacy,
     ):
         reject_legacy_kwargs("RandomForestRegressor", legacy)
@@ -389,6 +404,7 @@ class RandomForestRegressor:
         self.max_features = max_features
         self.seed = int(seed)
         self.workers = workers
+        self.splitter = _check_splitter(splitter)
         self.trees_: list[DecisionTreeRegressor] = []
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
@@ -399,6 +415,11 @@ class RandomForestRegressor:
         n = x.shape[0]
         if n == 0:
             raise ValueError("cannot fit on zero samples")
+        binned: BinnedDataset | None = None
+        if self.splitter == "hist":
+            with obs.stage("forest.bin", rows=n, features=x.shape[1]) as st:
+                binned = BinnedDataset.from_matrix(x)
+                st.set(total_bins=binned.total_bins)
         ctx = dict(
             kind="regressor",
             x=x,
@@ -408,9 +429,11 @@ class RandomForestRegressor:
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
+                splitter=self.splitter,
             ),
+            binned=binned,
         )
-        workers = _resolve_workers(self.workers, self.n_estimators)
+        workers = resolve_workers(self.workers, self.n_estimators)
         self.trees_ = list(_map_tree_fits(ctx, self.n_estimators, workers))
         return self
 

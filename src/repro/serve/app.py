@@ -38,7 +38,9 @@ from typing import Awaitable, Callable
 
 from repro.core.contributions import ContributionError, ContributionServer
 from repro.core.pme import PriceModelingEngine
+from repro.ml.tree import _check_splitter
 from repro.serve.batching import MicroBatcher
+from repro.util.parallel import resolve_workers
 from repro.util.validation import reject_legacy_kwargs
 from repro.serve.http import (
     MAX_BODY_BYTES,
@@ -106,6 +108,7 @@ class PmeServer:
         max_delay_ms: float = 2.0,
         retrain_min_new_rows: int = 50,
         workers: int | None = 1,
+        splitter: str = "exact",
         max_body_bytes: int = MAX_BODY_BYTES,
         **legacy,
     ):
@@ -121,7 +124,10 @@ class PmeServer:
         self.contributions = contributions or ContributionServer()
         self.metrics = ServeMetrics()
         self.retrain_min_new_rows = int(retrain_min_new_rows)
-        self.workers = workers
+        # Validate the retrain knobs eagerly -- a bad value should fail
+        # at construction, not mid-retrain inside the executor job.
+        self.workers = None if workers is None else resolve_workers(workers)
+        self.splitter = _check_splitter(splitter)
         self.max_body_bytes = int(max_body_bytes)
         self._batcher = MicroBatcher(
             self._predict_batch,
@@ -404,9 +410,12 @@ class PmeServer:
             pme = self.pme
             assert pme is not None
             workers = self.workers
+            splitter = self.splitter
 
             def job():
-                pme.retrain_with_contributions(rows, prices, workers=workers)
+                pme.retrain_with_contributions(
+                    rows, prices, workers=workers, splitter=splitter
+                )
                 return build_snapshot(pme.package_model(), version=next_version)
 
             snapshot = await asyncio.get_running_loop().run_in_executor(

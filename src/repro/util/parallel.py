@@ -1,0 +1,47 @@
+"""Shared process-parallelism helpers.
+
+Every pool-parallel subsystem (forest training, the sharded weblog
+analyzer, the serve retrain executor) spells its worker knob the same
+way -- ``workers=None`` means "all cores", ``workers=N`` means exactly
+``N`` -- and used to re-implement the resolution logic locally.  This
+module is the one validated implementation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+__all__ = ["pool_context", "resolve_workers"]
+
+
+def resolve_workers(workers: int | None, n_tasks: int | None = None) -> int:
+    """Effective worker-process count for a pool-parallel stage.
+
+    ``None`` resolves to the machine's CPU count (at least 1); an
+    integer must be ``>= 1`` -- zero or negative counts raise
+    ``ValueError`` instead of being silently clamped.  ``n_tasks``
+    optionally caps the result at the number of available tasks so a
+    pool never spawns more processes than it has work for.
+    """
+    if workers is None:
+        count = os.cpu_count() or 1
+    else:
+        count = int(workers)
+        if count < 1:
+            raise ValueError(f"workers must be >= 1 (or None for all cores), got {workers}")
+    if n_tasks is not None:
+        count = min(count, max(1, int(n_tasks)))
+    return count
+
+
+def pool_context() -> mp.context.BaseContext:
+    """Multiprocessing context for training/analysis pools.
+
+    Prefer ``fork`` (cheap process start, shares big read-only inputs
+    -- the training matrix, the analyzer lookup tables, a forest's
+    :class:`~repro.ml.histsplit.BinnedDataset` -- via copy-on-write
+    pages instead of pickling); fall back to ``spawn`` elsewhere.
+    """
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
